@@ -1,0 +1,47 @@
+// Reproduces Figure 4(a): one-to-all broadcast improvement factor T_s/T_f —
+// two-phase broadcast with the slowest versus the fastest processor as root
+// (§5.3).
+//
+// Paper shape to match: negligible improvement at every p and problem size;
+// what little there is comes from the fast root distributing the n/p pieces
+// in the first phase. The slowest machine must still receive all n items, so
+// broadcast cannot exploit heterogeneity (§4.4's conclusion).
+
+#include <cstdio>
+
+#include "experiments/figures.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hbsp;
+  util::Cli cli{argc, argv};
+  cli.allow("csv", "write the sweep to this CSV path");
+  cli.validate();
+
+  exp::FigureConfig config;
+  const exp::ImprovementTable table = exp::broadcast_root_experiment(config);
+  table
+      .to_table(
+          "Figure 4(a) - broadcast improvement factor T_s/T_f (root slowest vs "
+          "fastest, two-phase)")
+      .print();
+
+  if (cli.has("csv")) {
+    util::CsvWriter csv{cli.get("csv", "")};
+    std::vector<std::string> header{"p"};
+    for (const auto kb : table.kbytes) header.push_back(std::to_string(kb));
+    csv.write_row(header);
+    for (std::size_t i = 0; i < table.processors.size(); ++i) {
+      std::vector<std::string> row{std::to_string(table.processors[i])};
+      for (const double f : table.factor[i]) {
+        row.push_back(util::Table::num(f, 4));
+      }
+      csv.write_row(row);
+    }
+  }
+  std::puts(
+      "\nPaper: negligible improvement -- every processor must receive all n\n"
+      "items, so the slowest machine dictates the cost regardless of root.");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduces Figure 4(b): one-to-all broadcast improvement factor T_u/T_b —
+// equal versus balanced phase-1 pieces, root = fastest (§5.3).
+//
+// Paper shape to match: no benefit at all ("clearly demonstrates that there
+// is no benefit to balanced workloads since each processor must receive all
+// of the items").
+
+#include <cstdio>
+
+#include "experiments/figures.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hbsp;
+  util::Cli cli{argc, argv};
+  cli.allow("csv", "write the sweep to this CSV path")
+      .allow("seed", "BYTEmark noise seed (default 2001)");
+  cli.validate();
+
+  exp::FigureConfig config;
+  config.noise.seed = static_cast<std::uint64_t>(cli.get_int("seed", 2001));
+
+  const exp::ImprovementTable table = exp::broadcast_balance_experiment(config);
+  table
+      .to_table(
+          "Figure 4(b) - broadcast improvement factor T_u/T_b (equal vs "
+          "balanced pieces, root = fastest)")
+      .print();
+
+  if (cli.has("csv")) {
+    util::CsvWriter csv{cli.get("csv", "")};
+    std::vector<std::string> header{"p"};
+    for (const auto kb : table.kbytes) header.push_back(std::to_string(kb));
+    csv.write_row(header);
+    for (std::size_t i = 0; i < table.processors.size(); ++i) {
+      std::vector<std::string> row{std::to_string(table.processors[i])};
+      for (const double f : table.factor[i]) {
+        row.push_back(util::Table::num(f, 4));
+      }
+      csv.write_row(row);
+    }
+  }
+  std::puts("\nPaper: no benefit -- every processor still receives all n items.");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// E12: google-benchmark microbenchmarks of the reproduction's own machinery
+// (simulator event throughput, planning, pricing, partitioning, pack/unpack)
+// so regressions in the substrate itself are visible.
+
+#include <benchmark/benchmark.h>
+
+#include "collectives/planners.hpp"
+#include "core/cost_model.hpp"
+#include "core/topology.hpp"
+#include "core/topology_io.hpp"
+#include "core/workload.hpp"
+#include "runtime/message.hpp"
+#include "sim/cluster_sim.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hbsp;
+
+void BM_SimGatherSuperstep(benchmark::State& state) {
+  const MachineTree tree = make_paper_testbed(static_cast<int>(state.range(0)));
+  const auto schedule = coll::plan_gather(tree, 250000, {});
+  sim::ClusterSim sim{tree, sim::SimParams{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(schedule).makespan);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(schedule.total_messages()));
+}
+BENCHMARK(BM_SimGatherSuperstep)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_SimManyMessages(benchmark::State& state) {
+  const MachineTree tree = make_paper_testbed(10);
+  CommSchedule schedule;
+  SuperstepPlan& plan = schedule.add_step("mesh", 1, tree.root());
+  for (int s = 0; s < 10; ++s) {
+    for (int d = 0; d < 10; ++d) {
+      if (s != d) plan.transfers.push_back({s, d, 100});
+    }
+  }
+  sim::ClusterSim sim{tree, sim::SimParams{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(schedule).makespan);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 90);
+}
+BENCHMARK(BM_SimManyMessages);
+
+void BM_PlanBroadcast(benchmark::State& state) {
+  const MachineTree tree = make_figure1_cluster();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coll::plan_broadcast(tree, 250000, {}));
+  }
+}
+BENCHMARK(BM_PlanBroadcast);
+
+void BM_CostModelPricing(benchmark::State& state) {
+  const MachineTree tree = make_paper_testbed(10);
+  const CostModel model{tree};
+  const auto schedule = coll::plan_alltoall(tree, 250000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.cost(schedule).total());
+  }
+}
+BENCHMARK(BM_CostModelPricing);
+
+void BM_BalancedPartition(benchmark::State& state) {
+  util::Rng rng{7};
+  std::vector<double> r;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    r.push_back(rng.uniform(1.0, 8.0));
+  }
+  r[0] = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(balanced_partition(r, 1000000));
+  }
+}
+BENCHMARK(BM_BalancedPartition)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_PackUnpackRoundTrip(benchmark::State& state) {
+  const auto values = util::uniform_int_workload(
+      static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    rt::PackBuffer buffer;
+    buffer.pack_span<std::int32_t>(values);
+    rt::Message message;
+    message.payload = buffer.take();
+    rt::UnpackBuffer reader{message};
+    benchmark::DoNotOptimize(reader.unpack_span<std::int32_t>(values.size()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(values.size() * 4));
+}
+BENCHMARK(BM_PackUnpackRoundTrip)->Arg(1000)->Arg(250000);
+
+void BM_TopologyParse(benchmark::State& state) {
+  const std::string text = serialize_topology(make_figure1_cluster());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parse_topology(text));
+  }
+}
+BENCHMARK(BM_TopologyParse);
+
+void BM_RngWorkload(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::uniform_int_workload(25000, 99));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 25000);
+}
+BENCHMARK(BM_RngWorkload);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// E16 (extension): predictive value of heterogeneity-awareness.
+//
+// HBSP (the 1-level precursor paper) distinguishes itself from HCGM by
+// aiming to be "an accurate predictor of execution times". This bench
+// quantifies that on our substrate: predict collective times with
+//
+//   (a) plain BSP        — every processor assumed as fast as the fastest
+//                          (r ≡ 1, the homogeneous model's view),
+//   (b) HBSP^k           — the §3.4 cost model with true r values,
+//   (c) HBSP^k + §6 λ    — destination-weighted on hierarchical machines,
+//
+// and report each model's error against the simulated cluster. The ordering
+// (a) > (b) > (c) in error is the quantitative case for the model.
+
+#include <cmath>
+#include <cstdio>
+
+#include "collectives/planners.hpp"
+#include "core/cost_model.hpp"
+#include "core/topology.hpp"
+#include "sim/cluster_sim.hpp"
+#include "sim/dest_calibration.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace hbsp;
+
+/// The same machine with every r (and compute_r) forced to 1 — what a
+/// homogeneous BSP model believes about the cluster.
+MachineTree homogenised(const MachineTree& tree) {
+  const auto strip = [&](auto&& self, MachineId id) -> MachineSpec {
+    MachineSpec spec;
+    const auto& node = tree.node(id);
+    spec.name = node.name;
+    spec.sync_L = node.sync_L;
+    if (tree.is_processor(id)) {
+      spec.r = 1.0;
+      return spec;
+    }
+    for (int j = 0; j < tree.num_children(id); ++j) {
+      spec.children.push_back(self(self, tree.child(id, j)));
+    }
+    return spec;
+  };
+  return MachineTree::build(strip(strip, tree.root()), tree.g());
+}
+
+struct Errors {
+  util::Accumulator bsp;
+  util::Accumulator hbsp;
+  util::Accumulator extended;
+};
+
+void evaluate(const MachineTree& tree, Errors& errors, util::Table& table,
+              const char* machine_name) {
+  const MachineTree flat_view = homogenised(tree);
+  const CostModel bsp_model{flat_view};
+  const CostModel hbsp_model{tree};
+  CostModel extended_model{tree};
+  const auto lambda = sim::calibrate_destination_costs(tree, sim::SimParams{});
+  extended_model.set_destination_costs(&lambda);
+
+  const auto run_case = [&](const char* name, const CommSchedule& schedule) {
+    sim::ClusterSim sim{tree, sim::SimParams{}};
+    const double actual = sim.run(schedule).makespan;
+    const double bsp = bsp_model.cost(schedule).total();
+    const double hbsp = hbsp_model.cost(schedule).total();
+    const double extended = extended_model.cost(schedule).total();
+    const auto rel = [&](double prediction) {
+      return std::abs(prediction - actual) / actual;
+    };
+    errors.bsp.add(rel(bsp));
+    errors.hbsp.add(rel(hbsp));
+    errors.extended.add(rel(extended));
+    table.add_row({std::string{machine_name} + " " + name,
+                   util::format_time(actual),
+                   util::Table::num(100 * rel(bsp), 1) + "%",
+                   util::Table::num(100 * rel(hbsp), 1) + "%",
+                   util::Table::num(100 * rel(extended), 1) + "%"});
+  };
+
+  for (const std::size_t kb : {100u, 1000u}) {
+    const std::size_t n = util::ints_in_kbytes(kb);
+    const std::string size = std::to_string(kb) + "KB";
+    run_case(("gather " + size).c_str(), coll::plan_gather(tree, n, {}));
+    run_case(("gather-slowroot " + size).c_str(),
+             coll::plan_gather(tree, n,
+                               {.root_pid = tree.slowest_pid(tree.root()),
+                                .shares = coll::Shares::kEqual}));
+    run_case(("bcast " + size).c_str(), coll::plan_broadcast(tree, n, {}));
+    run_case(("scatter " + size).c_str(), coll::plan_scatter(tree, n, {}));
+    run_case(("reduce " + size).c_str(), coll::plan_reduce_tree(tree, n, {}));
+  }
+}
+
+}  // namespace
+
+int main() {
+  util::Table table{
+      "Prediction error vs the simulated cluster: BSP / HBSP^k / HBSP^k+lambda"};
+  table.set_header({"case", "simulated", "BSP err", "HBSP^k err",
+                    "+dest-costs err"});
+  Errors errors;
+  evaluate(make_paper_testbed(10), errors, table, "testbed");
+  evaluate(make_figure1_cluster(), errors, table, "campus");
+  evaluate(make_wide_area_grid(), errors, table, "wan-grid");
+  table.print();
+
+  util::Table summary{"Mean relative error over all cases"};
+  summary.set_header({"model", "mean error"});
+  summary.add_row({"BSP (homogeneous r=1)",
+                   util::Table::num(100 * errors.bsp.summary().mean, 1) + "%"});
+  summary.add_row({"HBSP^k (SS3.4)",
+                   util::Table::num(100 * errors.hbsp.summary().mean, 1) + "%"});
+  summary.add_row({"HBSP^k + SS6 destination costs",
+                   util::Table::num(100 * errors.extended.summary().mean, 1) +
+                       "%"});
+  summary.print();
+
+  std::puts(
+      "\nIgnoring heterogeneity (BSP) underpredicts whenever slow machines\n"
+      "sit on the critical path; the HBSP^k model recovers most of that, and\n"
+      "the destination-cost extension recovers the per-level link penalty the\n"
+      "single-r model still misses on hierarchies.");
+  return 0;
+}

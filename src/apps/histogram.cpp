@@ -1,0 +1,90 @@
+#include "apps/histogram.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "collectives/executors.hpp"
+
+namespace hbsp::apps {
+namespace {
+
+std::size_t bin_of(double value, const HistogramSpec& spec) {
+  if (spec.hi <= spec.lo) throw std::invalid_argument{"HistogramSpec: hi <= lo"};
+  const double t = (value - spec.lo) / (spec.hi - spec.lo);
+  const auto raw = static_cast<std::ptrdiff_t>(t * static_cast<double>(spec.bins));
+  const auto clamped =
+      std::clamp<std::ptrdiff_t>(raw, 0,
+                                 static_cast<std::ptrdiff_t>(spec.bins) - 1);
+  return static_cast<std::size_t>(clamped);
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> histogram_serial(std::span<const double> samples,
+                                            const HistogramSpec& spec) {
+  std::vector<std::uint64_t> counts(spec.bins, 0);
+  for (const double value : samples) ++counts[bin_of(value, spec)];
+  return counts;
+}
+
+std::vector<std::uint64_t> histogram_spmd(rt::Hbsp& ctx,
+                                          std::span<const double> samples,
+                                          std::size_t n,
+                                          const HistogramSpec& spec,
+                                          coll::Shares shares) {
+  const int root = ctx.fastest_pid();
+
+  // 1. Scatter the samples in planned shares.
+  const std::vector<double> mine = coll::scatter<double>(
+      ctx, ctx.pid() == root ? samples : std::span<const double>{}, n,
+      {.root_pid = root, .shares = shares});
+
+  // 2. Local binning: one op per sample.
+  std::vector<std::uint64_t> local(spec.bins, 0);
+  for (const double value : mine) ++local[bin_of(value, spec)];
+  if (!mine.empty()) ctx.charge_compute(static_cast<double>(mine.size()));
+
+  // 3. Vector partials to the root (`bins` items each), then combine there:
+  //    reduce's gather-of-partials superstep with vector payloads.
+  if (ctx.pid() != root) {
+    ctx.send_items<std::uint64_t>(root, local);
+  }
+  ctx.sync();
+  if (ctx.pid() != root) {
+    ctx.sync();  // pair the root's combine superstep
+    return {};
+  }
+  for (const auto& message : ctx.recv_all()) {
+    const auto partial = message.unpack_all<std::uint64_t>();
+    if (partial.size() != spec.bins) {
+      throw std::logic_error{"histogram: partial size mismatch"};
+    }
+    for (std::size_t b = 0; b < spec.bins; ++b) local[b] += partial[b];
+  }
+  ctx.charge_compute(static_cast<double>(spec.bins) *
+                     static_cast<double>(ctx.nprocs() - 1));
+  ctx.sync();
+  return local;
+}
+
+HistogramRun run_histogram(const MachineTree& machine,
+                           std::span<const double> samples,
+                           const HistogramSpec& spec, coll::Shares shares,
+                           const sim::SimParams& params) {
+  HistogramRun run;
+  const rt::Program program = [&](rt::Hbsp& ctx) {
+    auto counts = histogram_spmd(ctx, samples, samples.size(), spec, shares);
+    if (ctx.pid() == ctx.fastest_pid()) {
+      run.counts = std::move(counts);
+      run.virtual_seconds = ctx.time();
+    }
+  };
+  (void)rt::run_program(machine, params, program);
+
+  std::uint64_t total = 0;
+  for (const auto count : run.counts) total += count;
+  run.valid = run.counts.size() == spec.bins && total == samples.size();
+  return run;
+}
+
+}  // namespace hbsp::apps

@@ -1,0 +1,53 @@
+#pragma once
+// Distributed histogram — a reduction-shaped HBSP^k application.
+//
+// Each processor receives a balanced share of the samples, bins locally
+// (compute ∝ share, so the balanced split is exactly what §4.1 prescribes),
+// then the per-processor histograms combine at the fastest machine: one
+// message of `bins` items per processor — the gather-of-partials pattern of
+// the reduce collective, with vector-valued partials.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "collectives/planners.hpp"
+#include "core/machine.hpp"
+#include "runtime/hbsplib.hpp"
+#include "sim/sim_params.hpp"
+
+namespace hbsp::apps {
+
+/// Histogram configuration: `bins` equal-width buckets over [lo, hi);
+/// samples outside the range clamp to the edge bins.
+struct HistogramSpec {
+  std::size_t bins = 64;
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// SPMD body: bins the root's `samples` across the machine; returns the full
+/// counts vector at the fastest processor, empty elsewhere.
+[[nodiscard]] std::vector<std::uint64_t> histogram_spmd(
+    rt::Hbsp& ctx, std::span<const double> samples, std::size_t n,
+    const HistogramSpec& spec, coll::Shares shares);
+
+/// Outcome of a driver run.
+struct HistogramRun {
+  std::vector<std::uint64_t> counts;
+  double virtual_seconds = 0.0;
+  bool valid = false;  ///< counts sum to the sample count
+};
+
+/// Runs the SPMD histogram on the virtual-time engine.
+[[nodiscard]] HistogramRun run_histogram(const MachineTree& machine,
+                                         std::span<const double> samples,
+                                         const HistogramSpec& spec,
+                                         coll::Shares shares,
+                                         const sim::SimParams& params = {});
+
+/// Serial reference for validation.
+[[nodiscard]] std::vector<std::uint64_t> histogram_serial(
+    std::span<const double> samples, const HistogramSpec& spec);
+
+}  // namespace hbsp::apps

@@ -1,0 +1,59 @@
+#pragma once
+// Dense matrix–vector multiply y = A·x — a broadcast-plus-gather HBSP^k
+// application with quadratic compute, the classic BSP kernel.
+//
+// Rows of A distribute in balanced shares (compute per row is uniform, so
+// rows ∝ 1/r_j equalises finish times); x broadcasts to everyone with the
+// two-phase algorithm; local dot products; y gathers at the root in row
+// order. The broadcast's cost is insensitive to heterogeneity (§4.4) but the
+// compute phase is exactly where balanced shares pay.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "collectives/planners.hpp"
+#include "core/machine.hpp"
+#include "runtime/hbsplib.hpp"
+#include "sim/sim_params.hpp"
+
+namespace hbsp::apps {
+
+/// Row-major dense matrix.
+struct DenseMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<double> values;  ///< rows * cols, row-major
+
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    return {values.data() + r * cols, cols};
+  }
+};
+
+/// SPMD body: multiplies the root's matrix by the root's x; returns y at the
+/// fastest processor, empty elsewhere. Rows split per `shares`.
+[[nodiscard]] std::vector<double> matvec_spmd(rt::Hbsp& ctx,
+                                              const DenseMatrix& a,
+                                              std::span<const double> x,
+                                              coll::Shares shares);
+
+/// Outcome of a driver run.
+struct MatvecRun {
+  std::vector<double> y;
+  double virtual_seconds = 0.0;
+  bool valid = false;  ///< matches the serial product within 1e-9
+};
+
+/// Runs the SPMD multiply on the virtual-time engine and validates against
+/// the serial product.
+[[nodiscard]] MatvecRun run_matvec(const MachineTree& machine,
+                                   const DenseMatrix& a,
+                                   std::span<const double> x,
+                                   coll::Shares shares,
+                                   const sim::SimParams& params = {});
+
+/// Serial reference.
+[[nodiscard]] std::vector<double> matvec_serial(const DenseMatrix& a,
+                                                std::span<const double> x);
+
+}  // namespace hbsp::apps

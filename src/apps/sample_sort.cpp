@@ -1,0 +1,137 @@
+#include "apps/sample_sort.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "collectives/executors.hpp"
+
+namespace hbsp::apps {
+namespace {
+
+void charge_sort(rt::Hbsp& ctx, std::size_t count) {
+  if (count > 0) {
+    ctx.charge_compute(static_cast<double>(count) *
+                       std::log2(static_cast<double>(count) + 1));
+  }
+}
+
+}  // namespace
+
+std::vector<std::int32_t> sample_sort_spmd(rt::Hbsp& ctx,
+                                           std::span<const std::int32_t> input,
+                                           std::size_t n, coll::Shares shares) {
+  const int root = ctx.fastest_pid();
+  const auto p = static_cast<std::size_t>(ctx.nprocs());
+
+  // 1. Scatter the unsorted input in planned shares.
+  std::vector<std::int32_t> mine = coll::scatter<std::int32_t>(
+      ctx,
+      ctx.pid() == root ? input : std::span<const std::int32_t>{},
+      n, {.root_pid = root, .shares = shares});
+
+  // 2. Local sort.
+  std::sort(mine.begin(), mine.end());
+  charge_sort(ctx, mine.size());
+
+  // 3. Every processor contributes p−1 splitter candidates; gather them to
+  //    the root, which picks the splitters and broadcasts them back (works
+  //    on hierarchical machines too, where a flat allgather would not).
+  std::vector<std::int32_t> candidates;
+  for (std::size_t k = 1; k < p; ++k) {
+    candidates.push_back(mine.empty() ? 0 : mine[k * mine.size() / p]);
+  }
+  const std::size_t sample_total = (p - 1) * p;
+  const auto all_candidates = coll::gather<std::int32_t>(
+      ctx, candidates, sample_total,
+      {.root_pid = root, .shares = coll::Shares::kEqual});
+
+  std::vector<std::int32_t> splitters;
+  if (ctx.pid() == root) {
+    auto sorted = *all_candidates;
+    std::sort(sorted.begin(), sorted.end());
+    charge_sort(ctx, sorted.size());
+    // Speed-weighted splitters: bucket j's quantile width tracks c_j so fast
+    // machines own wide buckets (falls back to equal-width for kEqual).
+    const auto quota = ctx.balanced_shares(sample_total);
+    std::size_t cursor = 0;
+    for (std::size_t j = 0; j + 1 < p; ++j) {
+      cursor +=
+          shares == coll::Shares::kBalanced ? quota[j] : sample_total / p;
+      splitters.push_back(sorted[std::min(cursor, sorted.size() - 1)]);
+    }
+  }
+  splitters = coll::broadcast<std::int32_t>(
+      ctx, splitters, p - 1,
+      {.root_pid = root, .top_phase = coll::TopPhase::kTwoPhase,
+       .shares = coll::Shares::kEqual});
+
+  // 4. Route items to their bucket owners (per-pair sizes are data
+  //    dependent, so this superstep uses the runtime directly).
+  std::vector<std::vector<std::int32_t>> outgoing(p);
+  for (const std::int32_t value : mine) {
+    const auto bucket = static_cast<std::size_t>(
+        std::upper_bound(splitters.begin(), splitters.end(), value) -
+        splitters.begin());
+    outgoing[bucket].push_back(value);
+  }
+  for (std::size_t dst = 0; dst < p; ++dst) {
+    if (static_cast<int>(dst) == ctx.pid() || outgoing[dst].empty()) continue;
+    ctx.send_items<std::int32_t>(static_cast<int>(dst), outgoing[dst]);
+  }
+  ctx.sync();
+  std::vector<std::int32_t> bucket =
+      std::move(outgoing[static_cast<std::size_t>(ctx.pid())]);
+  for (const auto& message : ctx.recv_all()) {
+    const auto values = message.unpack_all<std::int32_t>();
+    bucket.insert(bucket.end(), values.begin(), values.end());
+  }
+
+  // 5. Sort the bucket.
+  std::sort(bucket.begin(), bucket.end());
+  charge_sort(ctx, bucket.size());
+
+  // 6. Final gather: buckets are data-sized, one superstep to the root.
+  if (ctx.pid() != root && !bucket.empty()) {
+    ctx.send_items<std::int32_t>(root, bucket);
+  }
+  ctx.sync();
+  if (ctx.pid() != root) return {};
+  std::vector<std::vector<std::int32_t>> parts(p);
+  parts[static_cast<std::size_t>(root)] = std::move(bucket);
+  for (const auto& message : ctx.recv_all()) {
+    parts[static_cast<std::size_t>(message.src_pid)] =
+        message.unpack_all<std::int32_t>();
+  }
+  std::vector<std::int32_t> result;
+  result.reserve(n);
+  for (auto& part : parts) {
+    result.insert(result.end(), part.begin(), part.end());
+  }
+  return result;
+}
+
+SortRun run_sample_sort(const MachineTree& machine,
+                        std::span<const std::int32_t> input,
+                        coll::Shares shares, const sim::SimParams& params) {
+  SortRun run;
+  const rt::Program program = [&](rt::Hbsp& ctx) {
+    auto sorted = sample_sort_spmd(ctx, input, input.size(), shares);
+    if (ctx.pid() == ctx.fastest_pid()) {
+      run.sorted = std::move(sorted);
+      run.virtual_seconds = ctx.time();
+    }
+  };
+  (void)rt::run_program(machine, params, program);
+
+  run.valid = run.sorted.size() == input.size() &&
+              std::is_sorted(run.sorted.begin(), run.sorted.end());
+  if (run.valid) {
+    // Same multiset as the input?
+    std::vector<std::int32_t> reference(input.begin(), input.end());
+    std::sort(reference.begin(), reference.end());
+    run.valid = reference == run.sorted;
+  }
+  return run;
+}
+
+}  // namespace hbsp::apps

@@ -1,0 +1,152 @@
+#include "bytemark/kernels.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace hbsp::bytemark {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Runs `work` (returning a checksum contribution) until both the iteration
+/// floor and the time floor are met; reports iterations per second.
+template <typename Work>
+KernelResult timed(const char* name, const KernelConfig& config, Work&& work) {
+  KernelResult result;
+  result.name = name;
+  const auto start = Clock::now();
+  int iterations = 0;
+  double elapsed = 0.0;
+  do {
+    result.checksum ^= work();
+    ++iterations;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (iterations < config.min_iterations || elapsed < config.min_seconds);
+  result.iterations_per_second = static_cast<double>(iterations) / elapsed;
+  return result;
+}
+
+}  // namespace
+
+KernelResult run_numeric_sort(const KernelConfig& config) {
+  util::Rng rng{config.seed};
+  std::vector<std::int32_t> base(config.numeric_sort_size);
+  for (auto& v : base) {
+    v = static_cast<std::int32_t>(rng.uniform_i64(-1000000, 1000000));
+  }
+  return timed("numeric-sort", config, [&] {
+    auto data = base;
+    // Heap sort, as in BYTEmark's numeric sort test.
+    std::make_heap(data.begin(), data.end());
+    std::sort_heap(data.begin(), data.end());
+    return static_cast<std::uint64_t>(data.front()) ^
+           static_cast<std::uint64_t>(data.back());
+  });
+}
+
+KernelResult run_string_sort(const KernelConfig& config) {
+  util::Rng rng{config.seed + 1};
+  std::vector<std::string> base(config.string_sort_size);
+  for (auto& s : base) {
+    const auto length = static_cast<std::size_t>(rng.uniform_u64(4, 30));
+    s.resize(length);
+    for (auto& ch : s) {
+      ch = static_cast<char>('a' + rng.uniform_u64(0, 25));
+    }
+  }
+  return timed("string-sort", config, [&] {
+    auto data = base;
+    std::sort(data.begin(), data.end());
+    return static_cast<std::uint64_t>(data.front().size()) ^
+           static_cast<std::uint64_t>(data.back().size());
+  });
+}
+
+KernelResult run_bitfield(const KernelConfig& config) {
+  return timed("bitfield", config, [&] {
+    std::uint64_t field[64] = {};
+    std::uint64_t x = config.seed | 1;
+    for (std::size_t i = 0; i < config.bitfield_ops; ++i) {
+      x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+      const auto word = (x >> 32) & 63;
+      const auto bit = x & 63;
+      switch ((x >> 8) & 3) {
+        case 0: field[word] |= (1ULL << bit); break;
+        case 1: field[word] &= ~(1ULL << bit); break;
+        case 2: field[word] ^= (1ULL << bit); break;
+        default: field[word] = (field[word] << 1) | (field[word] >> 63); break;
+      }
+    }
+    std::uint64_t sum = 0;
+    for (const auto w : field) sum ^= w;
+    return sum;
+  });
+}
+
+KernelResult run_fp_fourier(const KernelConfig& config) {
+  return timed("fp-fourier", config, [&] {
+    // Fourier coefficients of f(x) = (x+1)^x on [0, 2] by trapezoid rule,
+    // echoing BYTEmark's FP emulation/Fourier mix.
+    double sum = 0.0;
+    constexpr int kSamples = 100;
+    for (std::size_t term = 1; term <= config.fourier_terms; ++term) {
+      double a = 0.0;
+      double b = 0.0;
+      for (int s = 0; s <= kSamples; ++s) {
+        const double x = 2.0 * s / kSamples;
+        const double fx = std::pow(x + 1.0, x);
+        const double weight = (s == 0 || s == kSamples) ? 0.5 : 1.0;
+        a += weight * fx * std::cos(static_cast<double>(term) * x);
+        b += weight * fx * std::sin(static_cast<double>(term) * x);
+      }
+      sum += a / static_cast<double>(kSamples) + b / static_cast<double>(kSamples);
+    }
+    return static_cast<std::uint64_t>(std::fabs(sum) * 1e6);
+  });
+}
+
+KernelResult run_lu_decomposition(const KernelConfig& config) {
+  util::Rng rng{config.seed + 2};
+  const std::size_t order = config.lu_matrix_order;
+  std::vector<double> base(order * order);
+  for (auto& v : base) v = rng.uniform(-1.0, 1.0);
+  // Diagonal dominance keeps the factorisation stable without pivoting.
+  for (std::size_t i = 0; i < order; ++i) {
+    base[i * order + i] += static_cast<double>(order);
+  }
+  return timed("lu-decomposition", config, [&] {
+    auto a = base;
+    for (std::size_t k = 0; k < order; ++k) {
+      for (std::size_t i = k + 1; i < order; ++i) {
+        const double factor = a[i * order + k] / a[k * order + k];
+        a[i * order + k] = factor;
+        for (std::size_t j = k + 1; j < order; ++j) {
+          a[i * order + j] -= factor * a[k * order + j];
+        }
+      }
+    }
+    double trace = 0.0;
+    for (std::size_t i = 0; i < order; ++i) trace += a[i * order + i];
+    return static_cast<std::uint64_t>(std::fabs(trace) * 1e3);
+  });
+}
+
+SuiteResult run_suite(const KernelConfig& config) {
+  SuiteResult suite;
+  suite.kernels.push_back(run_numeric_sort(config));
+  suite.kernels.push_back(run_string_sort(config));
+  suite.kernels.push_back(run_bitfield(config));
+  suite.kernels.push_back(run_fp_fourier(config));
+  suite.kernels.push_back(run_lu_decomposition(config));
+  std::vector<double> scores;
+  scores.reserve(suite.kernels.size());
+  for (const auto& k : suite.kernels) scores.push_back(k.iterations_per_second);
+  suite.composite = util::geometric_mean(scores);
+  return suite;
+}
+
+}  // namespace hbsp::bytemark

@@ -1,0 +1,53 @@
+#pragma once
+// Synthetic processor benchmark kernels (the reproduction's stand-in for the
+// BYTEmark suite the paper uses to rank workstations, §5.1).
+//
+// BYTEmark "consists of tests such as sorting, floating-point manipulation,
+// and numerical analysis"; the kernels here mirror that mix: integer heap
+// sort, string sort, bit-field manipulation, a floating-point Fourier-series
+// evaluation, and LU decomposition. Each runs a fixed workload repeatedly and
+// reports iterations per second measured on the host. Kernel outputs feed a
+// checksum so the optimiser cannot elide the work.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hbsp::bytemark {
+
+/// Score of one kernel: higher is faster.
+struct KernelResult {
+  std::string name;
+  double iterations_per_second = 0.0;
+  std::uint64_t checksum = 0;  ///< defeats dead-code elimination; ignore
+};
+
+/// Workload sizing; the defaults finish in well under a second per kernel.
+struct KernelConfig {
+  std::size_t numeric_sort_size = 2000;
+  std::size_t string_sort_size = 400;
+  std::size_t bitfield_ops = 20000;
+  std::size_t fourier_terms = 64;
+  std::size_t lu_matrix_order = 24;
+  int min_iterations = 8;
+  double min_seconds = 0.05;  ///< keep iterating until this much time passed
+  std::uint64_t seed = 0x6272696768746DULL;
+};
+
+[[nodiscard]] KernelResult run_numeric_sort(const KernelConfig& config);
+[[nodiscard]] KernelResult run_string_sort(const KernelConfig& config);
+[[nodiscard]] KernelResult run_bitfield(const KernelConfig& config);
+[[nodiscard]] KernelResult run_fp_fourier(const KernelConfig& config);
+[[nodiscard]] KernelResult run_lu_decomposition(const KernelConfig& config);
+
+/// All kernels plus the composite score (geometric mean of kernel scores),
+/// which is the figure used to rank machines.
+struct SuiteResult {
+  std::vector<KernelResult> kernels;
+  double composite = 0.0;
+};
+
+[[nodiscard]] SuiteResult run_suite(const KernelConfig& config = {});
+
+}  // namespace hbsp::bytemark

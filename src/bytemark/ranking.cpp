@@ -1,0 +1,104 @@
+#include "bytemark/ranking.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace hbsp::bytemark {
+
+int Ranking::fastest_pid() const {
+  for (std::size_t pid = 0; pid < rank.size(); ++pid) {
+    if (rank[pid] == 0) return static_cast<int>(pid);
+  }
+  throw std::logic_error{"Ranking: empty"};
+}
+
+int Ranking::slowest_pid() const {
+  const int last = static_cast<int>(rank.size()) - 1;
+  for (std::size_t pid = 0; pid < rank.size(); ++pid) {
+    if (rank[pid] == last) return static_cast<int>(pid);
+  }
+  throw std::logic_error{"Ranking: empty"};
+}
+
+Ranking ranking_from_scores(std::span<const double> scores) {
+  if (scores.empty()) {
+    throw std::invalid_argument{"ranking_from_scores: no scores"};
+  }
+  Ranking ranking;
+  ranking.scores.assign(scores.begin(), scores.end());
+  double best = 0.0;
+  double total = 0.0;
+  for (const double s : scores) {
+    if (s <= 0.0) {
+      throw std::invalid_argument{"ranking_from_scores: non-positive score"};
+    }
+    best = std::max(best, s);
+    total += s;
+  }
+
+  const auto p = scores.size();
+  std::vector<int> order(p);
+  for (std::size_t i = 0; i < p; ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double sa = scores[static_cast<std::size_t>(a)];
+    const double sb = scores[static_cast<std::size_t>(b)];
+    return sa != sb ? sa > sb : a < b;
+  });
+  ranking.rank.resize(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    ranking.rank[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+
+  ranking.estimated_r.reserve(p);
+  ranking.fractions.reserve(p);
+  for (const double s : scores) {
+    ranking.estimated_r.push_back(best / s);
+    ranking.fractions.push_back(s / total);
+  }
+  return ranking;
+}
+
+Ranking rank_simulated(const MachineTree& tree, const NoiseOptions& noise) {
+  util::Rng rng{noise.seed};
+  constexpr double kBaseScore = 1000.0;
+  std::vector<double> scores;
+  scores.reserve(static_cast<std::size_t>(tree.num_processors()));
+  for (int pid = 0; pid < tree.num_processors(); ++pid) {
+    double score = kBaseScore / tree.processor_compute_r(pid);
+    if (noise.stddev > 0.0) {
+      score *= std::exp(rng.normal(0.0, noise.stddev));
+    }
+    scores.push_back(score);
+  }
+  return ranking_from_scores(scores);
+}
+
+MachineSpec cluster_spec_from_ranking(const Ranking& ranking, double L) {
+  if (ranking.estimated_r.empty()) {
+    throw std::invalid_argument{"cluster_spec_from_ranking: empty ranking"};
+  }
+  MachineSpec root;
+  root.name = "ranked-cluster";
+  root.sync_L = L;
+  const double min_r =
+      *std::min_element(ranking.estimated_r.begin(), ranking.estimated_r.end());
+  for (std::size_t pid = 0; pid < ranking.estimated_r.size(); ++pid) {
+    MachineSpec leaf;
+    leaf.name = "ws" + std::to_string(pid);
+    // Renormalise so the fastest machine is exactly 1 even under noise.
+    leaf.r = std::max(1.0, ranking.estimated_r[pid] / min_r);
+    root.children.push_back(std::move(leaf));
+  }
+  // Guard against floating-point drift leaving no exact 1.
+  auto fastest = std::min_element(
+      root.children.begin(), root.children.end(),
+      [](const MachineSpec& a, const MachineSpec& b) { return a.r < b.r; });
+  fastest->r = 1.0;
+  return root;
+}
+
+}  // namespace hbsp::bytemark

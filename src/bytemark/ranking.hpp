@@ -1,0 +1,53 @@
+#pragma once
+// Deriving HBSP^k model parameters from benchmark scores (§5.1: "The ranking
+// of processors is determined by the BYTEmark benchmark" and "c_i is computed
+// using the BYTEmark results").
+//
+// Two sources feed the same derivation:
+//  * measured scores from kernels.hpp run on real hosts, or
+//  * simulated scores for the virtual cluster: a processor with slowness r
+//    yields score base/r perturbed by log-normal measurement noise. The noise
+//    models benchmarking a *non-dedicated* cluster (§5.1) and reproduces the
+//    paper's observation that a mis-estimated c_j for the second-fastest
+//    machine can spoil balanced gather (§5.2).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/machine.hpp"
+
+namespace hbsp::bytemark {
+
+/// Model parameters estimated from scores. All vectors are indexed by pid.
+struct Ranking {
+  std::vector<double> scores;       ///< raw composite scores (higher = faster)
+  std::vector<int> rank;            ///< 0 = fastest, ties by pid
+  std::vector<double> estimated_r;  ///< best_score / score (fastest == 1)
+  std::vector<double> fractions;    ///< c_j ∝ score, normalised to sum to 1
+
+  [[nodiscard]] int fastest_pid() const;
+  [[nodiscard]] int slowest_pid() const;
+};
+
+/// Derives ranking/r/c from raw scores; throws std::invalid_argument when
+/// empty or non-positive.
+[[nodiscard]] Ranking ranking_from_scores(std::span<const double> scores);
+
+/// Noise applied to simulated measurements.
+struct NoiseOptions {
+  double stddev = 0.05;  ///< log-normal sigma; 0 disables noise
+  std::uint64_t seed = 1;
+};
+
+/// Simulated BYTEmark run over the machine's processors: score_j =
+/// base / true_r_j, perturbed per NoiseOptions.
+[[nodiscard]] Ranking rank_simulated(const MachineTree& tree,
+                                     const NoiseOptions& noise = {});
+
+/// Builds a flat HBSP^1 MachineSpec from estimated r values (fastest pinned
+/// to exactly 1, as the model requires).
+[[nodiscard]] MachineSpec cluster_spec_from_ranking(const Ranking& ranking,
+                                                    double L);
+
+}  // namespace hbsp::bytemark

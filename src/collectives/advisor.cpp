@@ -1,0 +1,221 @@
+#include "collectives/advisor.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "core/cost_model.hpp"
+
+namespace hbsp::coll {
+namespace {
+
+struct Candidate {
+  std::string description;
+  int root_pid = -1;
+  Shares shares = Shares::kBalanced;
+  TopPhase top_phase = TopPhase::kTwoPhase;
+  int supersteps = 1;  ///< tie-break: simpler structures first
+  CommSchedule schedule;
+};
+
+const char* shares_name(Shares shares) {
+  return shares == Shares::kBalanced ? "balanced" : "equal";
+}
+
+std::string root_name(const MachineTree& tree, int pid) {
+  const auto& name = tree.node(tree.processor(pid)).name;
+  return name.empty() ? "P" + std::to_string(pid) : name;
+}
+
+int count_supersteps(const CommSchedule& schedule) {
+  int count = 0;
+  for (const auto& phase : schedule.phases) count += static_cast<int>(!phase.plans.empty());
+  return count;
+}
+
+}  // namespace
+
+const char* to_string(CollectiveKind kind) noexcept {
+  switch (kind) {
+    case CollectiveKind::kGather: return "gather";
+    case CollectiveKind::kBroadcast: return "broadcast";
+    case CollectiveKind::kScatter: return "scatter";
+    case CollectiveKind::kReduce: return "reduce";
+    case CollectiveKind::kAllgather: return "allgather";
+    case CollectiveKind::kScan: return "scan";
+    case CollectiveKind::kAlltoall: return "alltoall";
+  }
+  return "?";
+}
+
+CommSchedule CollectiveAdvice::plan(const MachineTree& tree,
+                                    std::size_t n) const {
+  switch (kind) {
+    case CollectiveKind::kGather:
+      return plan_gather(tree, n, {.root_pid = root_pid, .shares = shares});
+    case CollectiveKind::kBroadcast:
+      return plan_broadcast(
+          tree, n,
+          {.root_pid = root_pid, .top_phase = top_phase, .shares = shares});
+    case CollectiveKind::kScatter:
+      return plan_scatter(tree, n, {.root_pid = root_pid, .shares = shares});
+    case CollectiveKind::kReduce:
+      return plan_reduce_tree(tree, n,
+                              {.root_pid = root_pid, .shares = shares});
+    case CollectiveKind::kAllgather: {
+      for (int j = 0; j < tree.num_children(tree.root()); ++j) {
+        if (!tree.is_processor(tree.child(tree.root(), j))) {
+          return plan_allgather_tree(tree, n, shares);
+        }
+      }
+      return plan_allgather(tree, n, shares);
+    }
+    case CollectiveKind::kScan:
+      return plan_scan(tree, n, shares);
+    case CollectiveKind::kAlltoall:
+      return plan_alltoall(tree, n, shares);
+  }
+  throw std::logic_error{"CollectiveAdvice::plan: bad kind"};
+}
+
+CollectiveAdvice advise(const MachineTree& tree, CollectiveKind kind,
+                        std::size_t n) {
+  if (tree.num_children(tree.root()) == 0) {
+    throw std::invalid_argument{"advise: single-processor machine"};
+  }
+  const CostModel model{tree};
+  const int fast = tree.coordinator_pid(tree.root());
+  const int slow = tree.slowest_pid(tree.root());
+
+  std::vector<Candidate> candidates;
+  const auto add = [&](Candidate candidate) {
+    candidate.supersteps = count_supersteps(candidate.schedule);
+    candidates.push_back(std::move(candidate));
+  };
+
+  switch (kind) {
+    case CollectiveKind::kGather:
+    case CollectiveKind::kScatter:
+    case CollectiveKind::kReduce: {
+      const auto make = [&](int root, Shares shares) {
+        const RootedOptions options{.root_pid = root, .shares = shares};
+        switch (kind) {
+          case CollectiveKind::kGather: return plan_gather(tree, n, options);
+          case CollectiveKind::kScatter: return plan_scatter(tree, n, options);
+          default: return plan_reduce_tree(tree, n, options);
+        }
+      };
+      for (const int root : {fast, slow}) {
+        for (const Shares shares : {Shares::kBalanced, Shares::kEqual}) {
+          Candidate candidate;
+          candidate.description = "root=" + root_name(tree, root) + ", " +
+                                  shares_name(shares) + " shares";
+          candidate.root_pid = root;
+          candidate.shares = shares;
+          candidate.schedule = make(root, shares);
+          add(std::move(candidate));
+        }
+        if (slow == fast) break;
+      }
+      break;
+    }
+    case CollectiveKind::kBroadcast: {
+      for (const TopPhase top : {TopPhase::kOnePhase, TopPhase::kTwoPhase}) {
+        Candidate candidate;
+        candidate.description = std::string{top == TopPhase::kOnePhase
+                                                ? "one-phase"
+                                                : "two-phase"} +
+                                " from " + root_name(tree, fast);
+        candidate.root_pid = fast;
+        candidate.shares = Shares::kEqual;
+        candidate.top_phase = top;
+        candidate.schedule = plan_broadcast(
+            tree, n,
+            {.root_pid = fast, .top_phase = top, .shares = Shares::kEqual});
+        add(std::move(candidate));
+      }
+      break;
+    }
+    case CollectiveKind::kAllgather:
+    case CollectiveKind::kScan:
+    case CollectiveKind::kAlltoall: {
+      for (const Shares shares : {Shares::kBalanced, Shares::kEqual}) {
+        Candidate candidate;
+        candidate.description = std::string{shares_name(shares)} + " shares";
+        candidate.shares = shares;
+        const bool flat = [&] {
+          for (int j = 0; j < tree.num_children(tree.root()); ++j) {
+            if (!tree.is_processor(tree.child(tree.root(), j))) return false;
+          }
+          return true;
+        }();
+        switch (kind) {
+          case CollectiveKind::kAllgather:
+            // On hierarchies the flat total exchange would flood the upper
+            // networks; use the gather+broadcast composition there.
+            candidate.schedule = flat ? plan_allgather(tree, n, shares)
+                                      : plan_allgather_tree(tree, n, shares);
+            break;
+          case CollectiveKind::kScan:
+            candidate.schedule = plan_scan(tree, n, shares);
+            break;
+          default:
+            candidate.schedule = plan_alltoall(tree, n, shares);
+            break;
+        }
+        add(std::move(candidate));
+      }
+      break;
+    }
+  }
+
+  CollectiveAdvice advice;
+  advice.kind = kind;
+  double best = std::numeric_limits<double>::infinity();
+  int best_steps = std::numeric_limits<int>::max();
+  bool best_balanced = false;
+  for (const auto& candidate : candidates) {
+    const double cost = model.cost(candidate.schedule).total();
+    advice.options.push_back({candidate.description, cost});
+    const bool balanced = candidate.shares == Shares::kBalanced;
+    const bool better =
+        cost < best - 1e-15 ||
+        (cost < best + 1e-15 &&
+         (candidate.supersteps < best_steps ||
+          (candidate.supersteps == best_steps && balanced && !best_balanced)));
+    if (better) {
+      best = cost;
+      best_steps = candidate.supersteps;
+      best_balanced = balanced;
+      advice.root_pid = candidate.root_pid;
+      advice.shares = candidate.shares;
+      advice.top_phase = candidate.top_phase;
+      advice.predicted_cost = cost;
+    }
+  }
+
+  // Rationale, in the paper's own terms.
+  if (kind == CollectiveKind::kBroadcast) {
+    double r_s = 0.0;
+    for (int j = 0; j < tree.num_children(tree.root()); ++j) {
+      r_s = std::max(r_s, tree.r(tree.child(tree.root(), j)));
+    }
+    const double fan_out = static_cast<double>(tree.num_children(tree.root()) - 1);
+    advice.rationale =
+        advice.top_phase == TopPhase::kOnePhase
+            ? (r_s >= fan_out
+                   ? "slowest member's r >= m-1: it pays r_s*n either way, so "
+                     "the extra barrier never pays off (SS4.4)"
+                   : "problem too small: the second barrier costs more than "
+                     "the bandwidth it saves")
+            : "large enough that halving the root's fan-out volume beats the "
+              "extra barrier (SS4.4)";
+  } else if (advice.root_pid >= 0) {
+    advice.rationale = "fastest machine coordinates and shares track 1/r_j "
+                       "(the two SS4.1 design rules)";
+  } else {
+    advice.rationale = "symmetric collective: only the share policy matters";
+  }
+  return advice;
+}
+
+}  // namespace hbsp::coll

@@ -1,0 +1,65 @@
+#pragma once
+// Algorithm advisor: §4's decision procedure as an API.
+//
+// Given a machine and a problem size, recommends — per collective — the
+// root, the share policy, and (for broadcast) the phase structure, with the
+// model costs of every alternative considered and a one-line rationale. This
+// is the "architecture-independent guidance" the model promises (§3.4): the
+// same call picks sensible strategies on a flat workstation pool and on a
+// campus hierarchy. Candidates are the planners' schedules priced by
+// CostModel, so advice is consistent with what executing the planner's
+// schedule would cost.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "collectives/planners.hpp"
+
+namespace hbsp::coll {
+
+/// The collectives the advisor knows how to plan. Scan and alltoall require
+/// a flat (HBSP^1) machine, like their planners; allgather switches to the
+/// hierarchical gather+broadcast composition on deeper machines.
+enum class CollectiveKind {
+  kGather,
+  kBroadcast,
+  kScatter,
+  kReduce,
+  kAllgather,
+  kScan,
+  kAlltoall,
+};
+
+[[nodiscard]] const char* to_string(CollectiveKind kind) noexcept;
+
+/// One evaluated configuration.
+struct AdviceOption {
+  std::string description;
+  double predicted_cost = 0.0;
+};
+
+/// The advisor's output: the chosen configuration plus everything it
+/// compared against and why it chose.
+struct CollectiveAdvice {
+  CollectiveKind kind = CollectiveKind::kGather;
+  int root_pid = -1;                ///< -1 when the collective is rootless
+  Shares shares = Shares::kBalanced;
+  TopPhase top_phase = TopPhase::kTwoPhase;  ///< meaningful for broadcast
+  double predicted_cost = 0.0;
+  std::vector<AdviceOption> options;  ///< every configuration evaluated
+  std::string rationale;
+
+  /// The planner schedule realising this advice.
+  [[nodiscard]] CommSchedule plan(const MachineTree& tree, std::size_t n) const;
+};
+
+/// Recommends a configuration for `kind` moving n items on `tree`. All
+/// candidates are priced with CostModel over the planners' schedules; the
+/// cheapest wins (ties break toward fewer supersteps, then balanced shares).
+/// Throws std::invalid_argument for single-processor machines and for
+/// flat-only collectives on hierarchies.
+[[nodiscard]] CollectiveAdvice advise(const MachineTree& tree,
+                                      CollectiveKind kind, std::size_t n);
+
+}  // namespace hbsp::coll

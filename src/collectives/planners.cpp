@@ -1,0 +1,422 @@
+#include "collectives/planners.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "core/workload.hpp"
+
+namespace hbsp::coll {
+namespace {
+
+/// Per-node shares of n items, [level][index], computed by recursive
+/// member_shares splits from the root down.
+std::vector<std::vector<std::size_t>> node_shares(const MachineTree& tree,
+                                                  std::size_t n, Shares shares) {
+  std::vector<std::vector<std::size_t>> result(
+      static_cast<std::size_t>(tree.num_levels()));
+  for (int level = 0; level < tree.num_levels(); ++level) {
+    result[static_cast<std::size_t>(level)].resize(
+        static_cast<std::size_t>(tree.machines_at(level)), 0);
+  }
+  result[static_cast<std::size_t>(tree.height())][0] = n;
+  for (int level = tree.height(); level >= 1; --level) {
+    for (int j = 0; j < tree.machines_at(level); ++j) {
+      const MachineId id{level, j};
+      if (tree.is_processor(id)) continue;
+      const std::size_t my_share =
+          result[static_cast<std::size_t>(level)][static_cast<std::size_t>(j)];
+      const auto split = analysis::member_shares(tree, id, my_share, shares);
+      for (int child = 0; child < tree.num_children(id); ++child) {
+        const MachineId cid = tree.child(id, child);
+        result[static_cast<std::size_t>(cid.level)]
+              [static_cast<std::size_t>(cid.index)] =
+                  split[static_cast<std::size_t>(child)];
+      }
+    }
+  }
+  return result;
+}
+
+int normalize_root(const MachineTree& tree, int root_pid) {
+  if (root_pid < 0) return tree.coordinator_pid(tree.root());
+  if (root_pid >= tree.num_processors()) {
+    throw std::invalid_argument{"bad root pid " + std::to_string(root_pid)};
+  }
+  return root_pid;
+}
+
+/// Data location of node `id` for a rooted collective: the processor itself,
+/// or the cluster's target.
+int data_site(const MachineTree& tree, MachineId id, int root_pid) {
+  if (tree.is_processor(id)) return tree.node(id).pid;
+  return cluster_target(tree, id, root_pid);
+}
+
+/// Adds the two-phase broadcast of `n` items from `cluster`'s data site to
+/// every child's data site: a scatter plan into `scatter_phase` and a total
+/// exchange plan into `exchange_phase`.
+void add_two_phase_broadcast(const MachineTree& tree, MachineId cluster,
+                             int root_pid, std::size_t n, Shares shares,
+                             int level, Phase& scatter_phase,
+                             Phase& exchange_phase) {
+  const int src = cluster_target(tree, cluster, root_pid);
+  const auto split = analysis::broadcast_pieces(tree, cluster, n, shares);
+  const int m = tree.num_children(cluster);
+
+  SuperstepPlan& scatter = scatter_phase.plans.emplace_back();
+  scatter.label = "bcast scatter L" + std::to_string(level);
+  scatter.level = level;
+  scatter.sync_scope = cluster;
+  std::vector<int> sites(static_cast<std::size_t>(m));
+  for (int j = 0; j < m; ++j) {
+    sites[static_cast<std::size_t>(j)] = data_site(tree, tree.child(cluster, j),
+                                                   root_pid);
+    if (sites[static_cast<std::size_t>(j)] != src &&
+        split[static_cast<std::size_t>(j)] > 0) {
+      scatter.transfers.push_back(
+          {src, sites[static_cast<std::size_t>(j)], split[static_cast<std::size_t>(j)]});
+    }
+  }
+
+  SuperstepPlan& exchange = exchange_phase.plans.emplace_back();
+  exchange.label = "bcast exchange L" + std::to_string(level);
+  exchange.level = level;
+  exchange.sync_scope = cluster;
+  for (int j = 0; j < m; ++j) {
+    for (int i = 0; i < m; ++i) {
+      if (i == j || split[static_cast<std::size_t>(j)] == 0) continue;
+      if (sites[static_cast<std::size_t>(j)] == sites[static_cast<std::size_t>(i)]) {
+        continue;
+      }
+      exchange.transfers.push_back({sites[static_cast<std::size_t>(j)],
+                                    sites[static_cast<std::size_t>(i)],
+                                    split[static_cast<std::size_t>(j)]});
+    }
+  }
+}
+
+}  // namespace
+
+namespace detail {
+void require_flat(const MachineTree& tree, const char* who) {
+  const MachineId root = tree.root();
+  for (int j = 0; j < tree.num_children(root); ++j) {
+    if (!tree.is_processor(tree.child(root, j))) {
+      throw std::invalid_argument{std::string{who} +
+                                  ": requires a flat (HBSP^1) machine"};
+    }
+  }
+  if (tree.num_children(root) == 0) {
+    throw std::invalid_argument{std::string{who} +
+                                ": machine has a single processor"};
+  }
+}
+}  // namespace detail
+
+std::vector<std::size_t> leaf_shares(const MachineTree& tree, std::size_t n,
+                                     Shares shares) {
+  const auto per_node = node_shares(tree, n, shares);
+  std::vector<std::size_t> result(static_cast<std::size_t>(tree.num_processors()));
+  for (int pid = 0; pid < tree.num_processors(); ++pid) {
+    const MachineId id = tree.processor(pid);
+    result[static_cast<std::size_t>(pid)] =
+        per_node[static_cast<std::size_t>(id.level)]
+                [static_cast<std::size_t>(id.index)];
+  }
+  return result;
+}
+
+int cluster_target(const MachineTree& tree, MachineId cluster, int root_pid) {
+  if (root_pid >= 0) {
+    const auto [first, last] = tree.processor_range(cluster);
+    if (root_pid >= first && root_pid < last) return root_pid;
+  }
+  return tree.coordinator_pid(cluster);
+}
+
+CommSchedule plan_gather(const MachineTree& tree, std::size_t n,
+                         const RootedOptions& options) {
+  const int root_pid = normalize_root(tree, options.root_pid);
+  const auto shares = node_shares(tree, n, options.shares);
+
+  CommSchedule schedule;
+  schedule.name = "gather";
+  for (int level = 1; level <= tree.height(); ++level) {
+    Phase phase;
+    for (int j = 0; j < tree.machines_at(level); ++j) {
+      const MachineId cluster{level, j};
+      if (tree.is_processor(cluster)) continue;
+      SuperstepPlan& plan = phase.plans.emplace_back();
+      plan.label = "gather L" + std::to_string(level);
+      plan.level = level;
+      plan.sync_scope = cluster;
+      const int target = cluster_target(tree, cluster, root_pid);
+      for (int child = 0; child < tree.num_children(cluster); ++child) {
+        const MachineId cid = tree.child(cluster, child);
+        const int site = data_site(tree, cid, root_pid);
+        const std::size_t share = shares[static_cast<std::size_t>(cid.level)]
+                                        [static_cast<std::size_t>(cid.index)];
+        if (site != target && share > 0) {
+          plan.transfers.push_back({site, target, share});
+        }
+      }
+    }
+    if (!phase.plans.empty()) schedule.phases.push_back(std::move(phase));
+  }
+  return schedule;
+}
+
+CommSchedule plan_scatter(const MachineTree& tree, std::size_t n,
+                          const RootedOptions& options) {
+  const int root_pid = normalize_root(tree, options.root_pid);
+  const auto shares = node_shares(tree, n, options.shares);
+
+  CommSchedule schedule;
+  schedule.name = "scatter";
+  for (int level = tree.height(); level >= 1; --level) {
+    Phase phase;
+    for (int j = 0; j < tree.machines_at(level); ++j) {
+      const MachineId cluster{level, j};
+      if (tree.is_processor(cluster)) continue;
+      SuperstepPlan& plan = phase.plans.emplace_back();
+      plan.label = "scatter L" + std::to_string(level);
+      plan.level = level;
+      plan.sync_scope = cluster;
+      const int source = cluster_target(tree, cluster, root_pid);
+      for (int child = 0; child < tree.num_children(cluster); ++child) {
+        const MachineId cid = tree.child(cluster, child);
+        const int site = data_site(tree, cid, root_pid);
+        const std::size_t share = shares[static_cast<std::size_t>(cid.level)]
+                                        [static_cast<std::size_t>(cid.index)];
+        if (site != source && share > 0) {
+          plan.transfers.push_back({source, site, share});
+        }
+      }
+    }
+    if (!phase.plans.empty()) schedule.phases.push_back(std::move(phase));
+  }
+  return schedule;
+}
+
+CommSchedule plan_broadcast(const MachineTree& tree, std::size_t n,
+                            const BroadcastOptions& options) {
+  const int root_pid = normalize_root(tree, options.root_pid);
+
+  CommSchedule schedule;
+  schedule.name = "broadcast";
+  for (int level = tree.height(); level >= 1; --level) {
+    const bool top = level == tree.height();
+    if (top && options.top_phase == TopPhase::kOnePhase) {
+      Phase phase;
+      for (int j = 0; j < tree.machines_at(level); ++j) {
+        const MachineId cluster{level, j};
+        if (tree.is_processor(cluster)) continue;
+        SuperstepPlan& plan = phase.plans.emplace_back();
+        plan.label = "bcast one-phase L" + std::to_string(level);
+        plan.level = level;
+        plan.sync_scope = cluster;
+        const int src = cluster_target(tree, cluster, root_pid);
+        for (int child = 0; child < tree.num_children(cluster); ++child) {
+          const int site = data_site(tree, tree.child(cluster, child), root_pid);
+          if (site != src) plan.transfers.push_back({src, site, n});
+        }
+      }
+      if (!phase.plans.empty()) schedule.phases.push_back(std::move(phase));
+      continue;
+    }
+
+    Phase scatter_phase;
+    Phase exchange_phase;
+    for (int j = 0; j < tree.machines_at(level); ++j) {
+      const MachineId cluster{level, j};
+      if (tree.is_processor(cluster)) continue;
+      add_two_phase_broadcast(tree, cluster, root_pid, n, options.shares, level,
+                              scatter_phase, exchange_phase);
+    }
+    if (!scatter_phase.plans.empty()) {
+      schedule.phases.push_back(std::move(scatter_phase));
+      schedule.phases.push_back(std::move(exchange_phase));
+    }
+  }
+  return schedule;
+}
+
+CommSchedule plan_allgather(const MachineTree& tree, std::size_t n,
+                            Shares shares) {
+  detail::require_flat(tree, "plan_allgather");
+  const analysis::Members members =
+      analysis::cluster_members(tree, tree.root(), n, shares);
+  const std::size_t m = members.pids.size();
+
+  CommSchedule schedule;
+  schedule.name = "allgather";
+  SuperstepPlan& plan = schedule.add_step("allgather", 1, tree.root());
+  for (std::size_t j = 0; j < m; ++j) {
+    if (members.shares[j] == 0) continue;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (i == j) continue;
+      plan.transfers.push_back(
+          {members.pids[j], members.pids[i], members.shares[j]});
+    }
+  }
+  return schedule;
+}
+
+CommSchedule plan_reduce(const MachineTree& tree, std::size_t n,
+                         const RootedOptions& options) {
+  detail::require_flat(tree, "plan_reduce");
+  const int root_pid = normalize_root(tree, options.root_pid);
+  const analysis::Members members =
+      analysis::cluster_members(tree, tree.root(), n, options.shares);
+  const std::size_t m = members.pids.size();
+
+  CommSchedule schedule;
+  schedule.name = "reduce";
+  SuperstepPlan& combine = schedule.add_step("combine + send partials", 1,
+                                             tree.root());
+  for (std::size_t j = 0; j < m; ++j) {
+    const double ops =
+        members.shares[j] > 0 ? static_cast<double>(members.shares[j]) - 1.0 : 0.0;
+    if (ops > 0.0) combine.compute.push_back({members.pids[j], ops});
+    if (members.pids[j] != root_pid) {
+      combine.transfers.push_back({members.pids[j], root_pid, 1});
+    }
+  }
+  SuperstepPlan& final_step = schedule.add_step("root combine", 1, tree.root());
+  final_step.compute.push_back({root_pid, static_cast<double>(m) - 1.0});
+  return schedule;
+}
+
+
+
+CommSchedule plan_allgather_tree(const MachineTree& tree, std::size_t n,
+                                 Shares shares) {
+  if (tree.num_children(tree.root()) == 0) {
+    throw std::invalid_argument{"plan_allgather_tree: single-processor machine"};
+  }
+  CommSchedule schedule;
+  schedule.name = "allgather-tree";
+  CommSchedule up = plan_gather(tree, n, {.root_pid = -1, .shares = shares});
+  CommSchedule down = plan_broadcast(
+      tree, n,
+      {.root_pid = -1, .top_phase = TopPhase::kTwoPhase, .shares = Shares::kEqual});
+  for (auto& phase : up.phases) schedule.phases.push_back(std::move(phase));
+  for (auto& phase : down.phases) schedule.phases.push_back(std::move(phase));
+  return schedule;
+}
+
+CommSchedule plan_reduce_tree(const MachineTree& tree, std::size_t n,
+                              const RootedOptions& options) {
+  const int root_pid = normalize_root(tree, options.root_pid);
+  if (tree.num_children(tree.root()) == 0) {
+    throw std::invalid_argument{"plan_reduce_tree: single-processor machine"};
+  }
+  const auto shares = leaf_shares(tree, n, options.shares);
+
+  // Ops owed by each data site, charged in the next phase it takes part in:
+  // initially every processor owes its local combine.
+  std::map<int, double> pending;
+  for (int pid = 0; pid < tree.num_processors(); ++pid) {
+    const std::size_t share = shares[static_cast<std::size_t>(pid)];
+    pending[pid] = share > 0 ? static_cast<double>(share) - 1.0 : 0.0;
+  }
+
+  CommSchedule schedule;
+  schedule.name = "reduce-tree";
+  for (int level = 1; level <= tree.height(); ++level) {
+    Phase phase;
+    for (int j = 0; j < tree.machines_at(level); ++j) {
+      const MachineId cluster{level, j};
+      if (tree.is_processor(cluster)) continue;
+      SuperstepPlan& plan = phase.plans.emplace_back();
+      plan.label = "reduce L" + std::to_string(level);
+      plan.level = level;
+      plan.sync_scope = cluster;
+      const int target = cluster_target(tree, cluster, root_pid);
+      std::size_t partials_received = 0;
+      for (int child = 0; child < tree.num_children(cluster); ++child) {
+        const int site = data_site(tree, tree.child(cluster, child), root_pid);
+        if (const auto owed = pending.find(site);
+            owed != pending.end() && owed->second > 0.0) {
+          plan.compute.push_back({site, owed->second});
+          owed->second = 0.0;
+        }
+        if (site != target) {
+          plan.transfers.push_back({site, target, 1});
+          ++partials_received;
+        }
+      }
+      // The target folds the delivered partials next phase.
+      pending[target] += static_cast<double>(partials_received);
+    }
+    if (!phase.plans.empty()) schedule.phases.push_back(std::move(phase));
+  }
+
+  SuperstepPlan& final_step =
+      schedule.add_step("root combine", tree.height(), tree.root());
+  const int root_target = cluster_target(tree, tree.root(), root_pid);
+  if (pending[root_target] > 0.0) {
+    final_step.compute.push_back({root_target, pending[root_target]});
+  }
+  return schedule;
+}
+
+CommSchedule plan_scan(const MachineTree& tree, std::size_t n, Shares shares) {
+  detail::require_flat(tree, "plan_scan");
+  const analysis::Members members =
+      analysis::cluster_members(tree, tree.root(), n, shares);
+  const std::size_t m = members.pids.size();
+  const int root_pid = tree.coordinator_pid(tree.root());
+
+  CommSchedule schedule;
+  schedule.name = "scan";
+  SuperstepPlan& up = schedule.add_step("local prefix + partials", 1,
+                                        tree.root());
+  for (std::size_t j = 0; j < m; ++j) {
+    if (members.shares[j] > 0) {
+      up.compute.push_back({members.pids[j],
+                            static_cast<double>(members.shares[j])});
+    }
+    if (members.pids[j] != root_pid) {
+      up.transfers.push_back({members.pids[j], root_pid, 1});
+    }
+  }
+  SuperstepPlan& down = schedule.add_step("offsets back", 1, tree.root());
+  down.compute.push_back({root_pid, static_cast<double>(m)});
+  for (std::size_t j = 0; j < m; ++j) {
+    if (members.pids[j] != root_pid) {
+      down.transfers.push_back({root_pid, members.pids[j], 1});
+    }
+  }
+  SuperstepPlan& apply = schedule.add_step("apply offsets", 1, tree.root());
+  for (std::size_t j = 0; j < m; ++j) {
+    if (members.shares[j] > 0) {
+      apply.compute.push_back({members.pids[j],
+                               static_cast<double>(members.shares[j])});
+    }
+  }
+  return schedule;
+}
+
+CommSchedule plan_alltoall(const MachineTree& tree, std::size_t n,
+                           Shares shares) {
+  detail::require_flat(tree, "plan_alltoall");
+  const analysis::Members members =
+      analysis::cluster_members(tree, tree.root(), n, shares);
+  const std::size_t m = members.pids.size();
+
+  CommSchedule schedule;
+  schedule.name = "alltoall";
+  SuperstepPlan& plan = schedule.add_step("all-to-all", 1, tree.root());
+  for (std::size_t j = 0; j < m; ++j) {
+    const auto blocks = equal_partition(members.shares[j], m);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (i == j || blocks[i] == 0) continue;
+      plan.transfers.push_back({members.pids[j], members.pids[i], blocks[i]});
+    }
+  }
+  return schedule;
+}
+
+}  // namespace hbsp::coll

@@ -1,0 +1,38 @@
+#include "collectives/schedule_replay.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace hbsp::coll {
+
+rt::Program make_replay_program(const MachineTree& tree,
+                                const CommSchedule& schedule) {
+  validate_schedule(tree, schedule);
+  // The program captures the schedule by value so callers may discard theirs.
+  return [schedule](rt::Hbsp& ctx) {
+    for (const auto& phase : schedule.phases) {
+      for (const auto& plan : phase.plans) {
+        const auto [first, last] = ctx.machine().processor_range(plan.sync_scope);
+        if (ctx.pid() < first || ctx.pid() >= last) continue;
+        double ops = 0.0;
+        for (const auto& work : plan.compute) {
+          if (work.pid == ctx.pid()) ops += work.ops;
+        }
+        if (ops > 0.0) ctx.charge_compute(ops);
+        for (const auto& transfer : plan.transfers) {
+          if (transfer.src_pid != ctx.pid() || transfer.dst_pid == ctx.pid() ||
+              transfer.items == 0) {
+            continue;
+          }
+          ctx.send(transfer.dst_pid,
+                   std::vector<std::byte>(transfer.items * 4, std::byte{0}),
+                   transfer.items);
+        }
+        ctx.sync_scope(plan.sync_scope);
+        (void)ctx.recv_all();  // drain so later supersteps start clean
+      }
+    }
+  };
+}
+
+}  // namespace hbsp::coll

@@ -1,0 +1,59 @@
+#include "core/cost_model.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/dest_costs.hpp"
+
+namespace hbsp {
+
+CostModel::CostModel(const MachineTree& tree, double seconds_per_op)
+    : tree_(&tree),
+      seconds_per_op_(seconds_per_op < 0.0 ? tree.g() : seconds_per_op) {}
+
+double CostModel::h_relation(const SuperstepPlan& step) const {
+  // Accumulate per-processor sent/received volumes in one pass; with the §6
+  // extension enabled, each transfer's items are weighted by λ(src,dst).
+  const bool weighted =
+      destination_costs_ != nullptr && !destination_costs_->is_uniform();
+  std::map<int, std::pair<double, double>> traffic;  // pid -> {out, in}
+  for (const auto& t : step.transfers) {
+    if (t.src_pid == t.dst_pid) continue;
+    const double weight =
+        weighted ? destination_costs_->factor(t.src_pid, t.dst_pid) : 1.0;
+    const double volume = weight * static_cast<double>(t.items);
+    traffic[t.src_pid].first += volume;
+    traffic[t.dst_pid].second += volume;
+  }
+  double h = 0.0;
+  for (const auto& [pid, volumes] : traffic) {
+    const double h_j = std::max(volumes.first, volumes.second);
+    h = std::max(h, tree_->processor_r(pid) * h_j);
+  }
+  return h;
+}
+
+SuperstepCost CostModel::cost(const SuperstepPlan& step) const {
+  SuperstepCost priced;
+  for (const auto& work : step.compute) {
+    priced.w = std::max(
+        priced.w, work.ops * tree_->processor_compute_r(work.pid) * seconds_per_op_);
+  }
+  priced.h = h_relation(step);
+  priced.gh = tree_->g() * priced.h;
+  priced.L = tree_->sync_L(step.sync_scope);
+  return priced;
+}
+
+ScheduleCost CostModel::cost(const CommSchedule& schedule) const {
+  ScheduleCost priced;
+  priced.phases.reserve(schedule.phases.size());
+  for (const auto& phase : schedule.phases) {
+    PhaseCost& pc = priced.phases.emplace_back();
+    pc.plans.reserve(phase.plans.size());
+    for (const auto& plan : phase.plans) pc.plans.push_back(cost(plan));
+  }
+  return priced;
+}
+
+}  // namespace hbsp

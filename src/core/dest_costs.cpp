@@ -1,0 +1,90 @@
+#include "core/dest_costs.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace hbsp {
+
+DestinationCosts DestinationCosts::uniform(const MachineTree& tree) {
+  DestinationCosts costs;
+  const auto p = static_cast<std::size_t>(tree.num_processors());
+  costs.matrix_.assign(p, std::vector<double>(p, 1.0));
+  costs.uniform_ = true;
+  return costs;
+}
+
+DestinationCosts DestinationCosts::by_level(
+    const MachineTree& tree, std::span<const double> level_factors) {
+  if (static_cast<int>(level_factors.size()) != tree.height()) {
+    throw std::invalid_argument{
+        "DestinationCosts::by_level: need one factor per network level (" +
+        std::to_string(tree.height()) + ")"};
+  }
+  double previous = 1.0;
+  for (const double factor : level_factors) {
+    if (factor < 1.0) {
+      throw std::invalid_argument{
+          "DestinationCosts::by_level: factors must be >= 1"};
+    }
+    if (factor < previous) {
+      throw std::invalid_argument{
+          "DestinationCosts::by_level: factors must be non-decreasing with "
+          "level"};
+    }
+    previous = factor;
+  }
+
+  DestinationCosts costs;
+  const int p = tree.num_processors();
+  costs.matrix_.assign(static_cast<std::size_t>(p),
+                       std::vector<double>(static_cast<std::size_t>(p), 1.0));
+  bool all_one = true;
+  for (int a = 0; a < p; ++a) {
+    for (int b = 0; b < p; ++b) {
+      if (a == b) continue;
+      const int lca = tree.lca_level(a, b);
+      const double factor = level_factors[static_cast<std::size_t>(lca - 1)];
+      costs.matrix_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+          factor;
+      all_one = all_one && std::abs(factor - 1.0) < 1e-15;
+    }
+  }
+  costs.uniform_ = all_one;
+  return costs;
+}
+
+DestinationCosts DestinationCosts::from_matrix(
+    std::vector<std::vector<double>> matrix) {
+  const std::size_t p = matrix.size();
+  bool all_one = true;
+  for (std::size_t a = 0; a < p; ++a) {
+    if (matrix[a].size() != p) {
+      throw std::invalid_argument{"DestinationCosts::from_matrix: not square"};
+    }
+    for (std::size_t b = 0; b < p; ++b) {
+      if (a == b) continue;
+      if (matrix[a][b] < 1.0) {
+        throw std::invalid_argument{
+            "DestinationCosts::from_matrix: entries must be >= 1"};
+      }
+      all_one = all_one && std::abs(matrix[a][b] - 1.0) < 1e-15;
+    }
+  }
+  DestinationCosts costs;
+  costs.matrix_ = std::move(matrix);
+  costs.uniform_ = all_one;
+  return costs;
+}
+
+double DestinationCosts::factor(int src_pid, int dst_pid) const {
+  if (src_pid == dst_pid) return 1.0;
+  if (src_pid < 0 || dst_pid < 0 || src_pid >= num_processors() ||
+      dst_pid >= num_processors()) {
+    throw std::out_of_range{"DestinationCosts::factor: bad pid"};
+  }
+  return matrix_[static_cast<std::size_t>(src_pid)]
+                [static_cast<std::size_t>(dst_pid)];
+}
+
+}  // namespace hbsp

@@ -1,0 +1,62 @@
+#pragma once
+// The paper's §6 future-work extension, implemented: destination-dependent
+// communication costs.
+//
+// In the base model a machine's r is one number, so sending to a sibling on
+// the same bus costs the same per item as sending across a wide-area link.
+// The extension weights every (src, dst) pair with a factor λ(src,dst) >= 1;
+// the heterogeneous h-relation generalises to
+//
+//     h_j = max( Σ_out λ(j,d)·items , Σ_in λ(s,j)·items ),   h = max_j r_j·h_j
+//
+// which reduces to §3.4 exactly when λ ≡ 1. The natural instantiation
+// derives λ from the network hierarchy: λ = level_factor[ℓ−1] when the
+// endpoints' lowest common ancestor sits at level ℓ — crossing the campus
+// backbone costs more per item than crossing an SMP bus, which is the
+// asymmetry the base model loses and the substrate (latency + per-level
+// wire) actually exhibits.
+
+#include <span>
+#include <vector>
+
+#include "core/machine.hpp"
+
+namespace hbsp {
+
+/// Pairwise per-item cost multipliers λ(src,dst), materialised as a dense
+/// matrix over processor ids (clusters are small). λ(j,j) is unused
+/// (self-sends are free).
+class DestinationCosts {
+ public:
+  /// λ ≡ 1: the base model.
+  [[nodiscard]] static DestinationCosts uniform(const MachineTree& tree);
+
+  /// λ(a,b) = level_factors[lca_level(a,b) − 1]. `level_factors` must have
+  /// one entry per network level (size == tree.height()) with every factor
+  /// >= 1 and factors non-decreasing with level; throws std::invalid_argument
+  /// otherwise.
+  [[nodiscard]] static DestinationCosts by_level(
+      const MachineTree& tree, std::span<const double> level_factors);
+
+  /// Fully explicit λ matrix (p × p, entries >= 1 off the diagonal).
+  [[nodiscard]] static DestinationCosts from_matrix(
+      std::vector<std::vector<double>> matrix);
+
+  /// λ(src,dst); 1.0 for src == dst.
+  [[nodiscard]] double factor(int src_pid, int dst_pid) const;
+
+  [[nodiscard]] int num_processors() const noexcept {
+    return static_cast<int>(matrix_.size());
+  }
+
+  /// True when λ ≡ 1 (lets cost paths skip the weighting).
+  [[nodiscard]] bool is_uniform() const noexcept { return uniform_; }
+
+ private:
+  DestinationCosts() = default;
+
+  std::vector<std::vector<double>> matrix_;
+  bool uniform_ = true;
+};
+
+}  // namespace hbsp

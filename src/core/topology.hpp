@@ -1,0 +1,73 @@
+#pragma once
+// Ready-made HBSP^k topologies: the paper's testbed, Figure 1's two-level
+// cluster, and generators for tests and sweeps.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/machine.hpp"
+
+namespace hbsp {
+
+/// Default bandwidth indicator used by the presets (seconds per item for the
+/// fastest machine). The absolute value only scales virtual time.
+inline constexpr double kDefaultG = 1e-6;
+
+/// Default level-1 synchronisation overhead (seconds) for the presets,
+/// roughly a LAN barrier over PVM in the paper's era.
+inline constexpr double kDefaultL1 = 2e-3;
+
+/// A flat (k = 1) heterogeneous workstation cluster: one coordinator network,
+/// one processor per entry of `leaf_r` (r values, fastest must be 1).
+[[nodiscard]] MachineTree make_hbsp1_cluster(std::span<const double> leaf_r,
+                                             double g = kDefaultG,
+                                             double L = kDefaultL1);
+
+/// The relative speeds of the reproduction's stand-in for the paper's
+/// ten-workstation SUN/SGI testbed, in inventory (not sorted) order. The
+/// fastest machine is first and the slowest second, so the p = 2 subset
+/// exhibits the paper's fast/slow pairing discussed in §5.2.
+[[nodiscard]] std::span<const double> paper_testbed_speeds();
+
+/// The first `p` machines (2 <= p <= 10) of the stand-in testbed as an
+/// HBSP^1 cluster; the paper's experiments sweep p this way.
+[[nodiscard]] MachineTree make_paper_testbed(int p, double g = kDefaultG,
+                                             double L = kDefaultL1);
+
+/// Figure 1's HBSP^2 machine: a 4-way SMP (fast bus, tiny L), a bare SGI
+/// workstation (a childless level-1 node), and a 4-workstation LAN, joined
+/// by a campus network with barrier cost `L2`.
+[[nodiscard]] MachineTree make_figure1_cluster(double g = kDefaultG,
+                                               double L2 = 10 * kDefaultL1);
+
+/// A 3-level (HBSP^3) machine: a wide-area link joining two campuses, each
+/// campus a mix of labs (flat clusters) and a standalone server, per-level
+/// barrier costs growing by `L_scale` per level. Exercises the paper's "one
+/// can generalize the approach given here" claim for k >= 3.
+[[nodiscard]] MachineTree make_wide_area_grid(double g = kDefaultG,
+                                              double L_scale = 10.0);
+
+/// Parameters for the random-tree generator used by property tests.
+struct RandomTreeOptions {
+  int levels = 2;            ///< k >= 1
+  int min_fanout = 2;
+  int max_fanout = 4;
+  double max_r = 8.0;        ///< leaf r drawn uniformly from [1, max_r]
+  double leaf_degenerate_probability = 0.15;  ///< childless node above level 0
+  double g = kDefaultG;
+  double L_base = kDefaultL1;  ///< level-i barrier costs L_base * 10^(i-1)
+};
+
+/// A random valid HBSP^k machine (always at least one r == 1 processor).
+[[nodiscard]] MachineTree make_random_tree(const RandomTreeOptions& options,
+                                           std::uint64_t seed);
+
+/// A symmetric k-level machine: every interior node has `fanout` children,
+/// leaf r values cycle through `leaf_r_cycle` (must contain 1).
+[[nodiscard]] MachineTree make_uniform_tree(int levels, int fanout,
+                                            std::span<const double> leaf_r_cycle,
+                                            double g = kDefaultG,
+                                            double L_base = kDefaultL1);
+
+}  // namespace hbsp

@@ -1,0 +1,40 @@
+#pragma once
+// Text serialisation of HBSP^k machine descriptions.
+//
+// The format is line-oriented and nest-by-braces:
+//
+//     # ten-workstation cluster
+//     g 1e-6
+//     machine cluster L=2e-3 {
+//       machine ws0 r=1
+//       machine ws1 r=4 cr=3.5
+//       machine sub L=1e-3 c=0.5 {
+//         machine a r=2
+//       }
+//     }
+//
+// Attributes: r (communication slowness), cr (compute slowness, defaults to
+// r), L (barrier cost), c (explicit share of the parent's data). Exactly one
+// top-level `machine` block and one `g` line are required. `#` starts a
+// comment; blank lines are ignored.
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "core/machine.hpp"
+
+namespace hbsp {
+
+/// Parses a machine description; throws std::invalid_argument with a line
+/// number on malformed input, and propagates MachineTree::build validation
+/// errors.
+[[nodiscard]] MachineTree parse_topology(std::string_view text);
+
+/// Reads and parses a topology file; throws std::runtime_error if unreadable.
+[[nodiscard]] MachineTree load_topology(const std::string& path);
+
+/// Serialises a tree to the same format (round-trips through parse_topology).
+[[nodiscard]] std::string serialize_topology(const MachineTree& tree);
+
+}  // namespace hbsp

@@ -1,0 +1,48 @@
+#pragma once
+// Workload partitioning (§3.3's c_{i,j} and §4.1's "faster machines should
+// receive more data items").
+//
+// Balanced shares give each machine a fraction proportional to its ability
+// (c_j ∝ 1/r_j within a cluster), which yields the paper's efficiency
+// condition r_j·c_j < 1 whenever more than one machine participates. Integer
+// apportionment uses the largest-remainder method so shares always sum to n
+// exactly.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/machine.hpp"
+
+namespace hbsp {
+
+/// Fractions proportional to 1/r, normalised to sum to 1.
+/// Throws std::invalid_argument on an empty span or any r <= 0.
+[[nodiscard]] std::vector<double> balanced_fractions(std::span<const double> r);
+
+/// Largest-remainder apportionment of n items over `fractions` (which must be
+/// non-negative and sum to ~1); the result sums to exactly n.
+[[nodiscard]] std::vector<std::size_t> apportion(std::span<const double> fractions,
+                                                 std::size_t n);
+
+/// Equal split with the first n % p processors receiving one extra item.
+[[nodiscard]] std::vector<std::size_t> equal_partition(std::size_t n,
+                                                       std::size_t p);
+
+/// Balanced split of n items over machines with slownesses `r`.
+[[nodiscard]] std::vector<std::size_t> balanced_partition(std::span<const double> r,
+                                                          std::size_t n);
+
+/// Per-processor balanced shares over a whole HBSP^k machine: apportions n by
+/// each processor's global_c (product of c down the tree), so every cluster's
+/// aggregate share also matches its c. Indexed by pid.
+[[nodiscard]] std::vector<std::size_t> tree_partition(const MachineTree& tree,
+                                                      std::size_t n);
+
+/// Shares for the processors of one subtree only (indexed from the subtree's
+/// first pid), apportioning n by c ratios *within* the subtree.
+[[nodiscard]] std::vector<std::size_t> subtree_partition(const MachineTree& tree,
+                                                         MachineId subtree,
+                                                         std::size_t n);
+
+}  // namespace hbsp

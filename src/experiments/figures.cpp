@@ -1,0 +1,145 @@
+#include "experiments/figures.hpp"
+
+#include <string>
+
+#include "collectives/planners.hpp"
+#include "core/topology.hpp"
+#include "sim/cluster_sim.hpp"
+#include "util/units.hpp"
+
+namespace hbsp::exp {
+namespace {
+
+using coll::BroadcastOptions;
+using coll::RootedOptions;
+using coll::Shares;
+using coll::TopPhase;
+
+/// Runs `make_times` over the sweep and fills the improvement table.
+template <typename TimesFn>
+ImprovementTable sweep(const FigureConfig& config, TimesFn&& make_times) {
+  ImprovementTable table;
+  table.processors = config.processors;
+  table.kbytes = config.kbytes;
+  for (const int p : config.processors) {
+    std::vector<double> row;
+    row.reserve(config.kbytes.size());
+    for (const std::size_t kb : config.kbytes) {
+      const std::size_t n = util::ints_in_kbytes(kb);
+      const auto [t_num, t_den] = make_times(p, n);
+      row.push_back(t_num / t_den);
+    }
+    table.factor.push_back(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace
+
+util::Table ImprovementTable::to_table(const std::string& title) const {
+  util::Table table{title};
+  std::vector<std::string> header{"p"};
+  for (const std::size_t kb : kbytes) {
+    header.push_back(std::to_string(kb) + " KB");
+  }
+  table.set_header(std::move(header));
+  for (std::size_t i = 0; i < processors.size(); ++i) {
+    std::vector<std::string> row{std::to_string(processors[i])};
+    for (const double f : factor[i]) row.push_back(util::Table::num(f, 3));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+double simulate_makespan(const MachineTree& tree, const CommSchedule& schedule,
+                         const sim::SimParams& params) {
+  sim::ClusterSim simulator{tree, params};
+  return simulator.run(schedule).makespan;
+}
+
+MachineTree make_ranked_testbed(int p, const FigureConfig& config) {
+  const MachineTree truth = make_paper_testbed(p, config.g, config.L);
+  const bytemark::Ranking ranking = bytemark::rank_simulated(truth, config.noise);
+
+  // True r values (the hardware doesn't change), estimated c fractions (the
+  // practitioner only has benchmark scores to balance with, §5.1).
+  MachineSpec root;
+  root.name = "testbed";
+  root.sync_L = config.L;
+  const auto speeds = paper_testbed_speeds();
+  for (int pid = 0; pid < p; ++pid) {
+    MachineSpec leaf;
+    leaf.name = "ws" + std::to_string(pid);
+    leaf.r = speeds[static_cast<std::size_t>(pid)];
+    leaf.c = ranking.fractions[static_cast<std::size_t>(pid)];
+    root.children.push_back(std::move(leaf));
+  }
+  return MachineTree::build(root, config.g);
+}
+
+ImprovementTable gather_root_experiment(const FigureConfig& config) {
+  return sweep(config, [&](int p, std::size_t n) {
+    const MachineTree tree = make_paper_testbed(p, config.g, config.L);
+    const int fast = tree.coordinator_pid(tree.root());
+    const int slow = tree.slowest_pid(tree.root());
+    const double t_f = simulate_makespan(
+        tree, coll::plan_gather(tree, n, {.root_pid = fast, .shares = Shares::kEqual}),
+        config.sim);
+    const double t_s = simulate_makespan(
+        tree, coll::plan_gather(tree, n, {.root_pid = slow, .shares = Shares::kEqual}),
+        config.sim);
+    return std::pair{t_s, t_f};
+  });
+}
+
+ImprovementTable gather_balance_experiment(const FigureConfig& config) {
+  return sweep(config, [&](int p, std::size_t n) {
+    const MachineTree tree = make_ranked_testbed(p, config);
+    const int fast = tree.coordinator_pid(tree.root());
+    const double t_u = simulate_makespan(
+        tree, coll::plan_gather(tree, n, {.root_pid = fast, .shares = Shares::kEqual}),
+        config.sim);
+    const double t_b = simulate_makespan(
+        tree,
+        coll::plan_gather(tree, n, {.root_pid = fast, .shares = Shares::kBalanced}),
+        config.sim);
+    return std::pair{t_u, t_b};
+  });
+}
+
+ImprovementTable broadcast_root_experiment(const FigureConfig& config) {
+  return sweep(config, [&](int p, std::size_t n) {
+    const MachineTree tree = make_paper_testbed(p, config.g, config.L);
+    const int fast = tree.coordinator_pid(tree.root());
+    const int slow = tree.slowest_pid(tree.root());
+    const BroadcastOptions from_fast{.root_pid = fast,
+                                     .top_phase = TopPhase::kTwoPhase,
+                                     .shares = Shares::kEqual};
+    BroadcastOptions from_slow = from_fast;
+    from_slow.root_pid = slow;
+    const double t_f = simulate_makespan(
+        tree, coll::plan_broadcast(tree, n, from_fast), config.sim);
+    const double t_s = simulate_makespan(
+        tree, coll::plan_broadcast(tree, n, from_slow), config.sim);
+    return std::pair{t_s, t_f};
+  });
+}
+
+ImprovementTable broadcast_balance_experiment(const FigureConfig& config) {
+  return sweep(config, [&](int p, std::size_t n) {
+    const MachineTree tree = make_ranked_testbed(p, config);
+    const int fast = tree.coordinator_pid(tree.root());
+    const BroadcastOptions equal{.root_pid = fast,
+                                 .top_phase = TopPhase::kTwoPhase,
+                                 .shares = Shares::kEqual};
+    BroadcastOptions balanced = equal;
+    balanced.shares = Shares::kBalanced;
+    const double t_u = simulate_makespan(
+        tree, coll::plan_broadcast(tree, n, equal), config.sim);
+    const double t_b = simulate_makespan(
+        tree, coll::plan_broadcast(tree, n, balanced), config.sim);
+    return std::pair{t_u, t_b};
+  });
+}
+
+}  // namespace hbsp::exp

@@ -1,0 +1,67 @@
+#pragma once
+// The paper's §5 experimental protocol, reused by the bench binaries and the
+// integration tests.
+//
+// Experiments sweep p = 2..10 workstations of the stand-in testbed and
+// problem sizes of 100..1000 KBytes of uniformly distributed integers, and
+// report *improvement factors* T_A/T_B between two configurations of the
+// same collective:
+//
+//   Fig 3(a)  gather:    T_s/T_f — root slowest vs root fastest, equal shares
+//   Fig 3(b)  gather:    T_u/T_b — equal shares vs BYTEmark-balanced shares,
+//                                  root fastest
+//   Fig 4(a)  broadcast: T_s/T_f — two-phase, root slowest vs fastest
+//   Fig 4(b)  broadcast: T_u/T_b — equal vs balanced phase-1 pieces
+//
+// Times come from the deterministic cluster simulator. Balanced shares use
+// c_j estimated from a simulated BYTEmark run (with measurement noise, as on
+// the paper's non-dedicated cluster), not the true r values.
+
+#include <cstddef>
+#include <vector>
+
+#include "bytemark/ranking.hpp"
+#include "core/machine.hpp"
+#include "core/schedule.hpp"
+#include "sim/sim_params.hpp"
+#include "util/table.hpp"
+
+namespace hbsp::exp {
+
+/// Sweep configuration; defaults mirror §5.1.
+struct FigureConfig {
+  std::vector<int> processors = {2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<std::size_t> kbytes = {100, 200, 300, 400, 500,
+                                     600, 700, 800, 900, 1000};
+  sim::SimParams sim;
+  bytemark::NoiseOptions noise{.stddev = 0.05, .seed = 2001};
+  double g = 1e-6;
+  double L = 2e-3;
+};
+
+/// Improvement factors, factor[i][j] for processors[i] x kbytes[j].
+struct ImprovementTable {
+  std::vector<int> processors;
+  std::vector<std::size_t> kbytes;
+  std::vector<std::vector<double>> factor;
+
+  /// Renders with one row per p and one column per problem size.
+  [[nodiscard]] util::Table to_table(const std::string& title) const;
+};
+
+/// Simulated makespan of a schedule on a machine.
+[[nodiscard]] double simulate_makespan(const MachineTree& tree,
+                                       const CommSchedule& schedule,
+                                       const sim::SimParams& params);
+
+/// The first p testbed machines with workload fractions re-estimated from a
+/// noisy simulated BYTEmark run (true r values, estimated c values) — the
+/// machine description a practitioner following §5.1 would actually have.
+[[nodiscard]] MachineTree make_ranked_testbed(int p, const FigureConfig& config);
+
+[[nodiscard]] ImprovementTable gather_root_experiment(const FigureConfig& config);
+[[nodiscard]] ImprovementTable gather_balance_experiment(const FigureConfig& config);
+[[nodiscard]] ImprovementTable broadcast_root_experiment(const FigureConfig& config);
+[[nodiscard]] ImprovementTable broadcast_balance_experiment(const FigureConfig& config);
+
+}  // namespace hbsp::exp

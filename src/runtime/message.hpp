@@ -1,0 +1,113 @@
+#pragma once
+// Messages and typed pack/unpack buffers for the HBSPlib-like runtime.
+//
+// The paper's HBSPlib sits on PVM, whose programs pack typed data into a
+// send buffer and unpack on receipt. PackBuffer/UnpackBuffer reproduce that
+// programming surface; Message is the delivered unit. A message carries an
+// explicit `items` count for the cost model (the paper counts abstract
+// packets — its experiments use 4-byte integers), decoupled from payload
+// bytes.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+namespace hbsp::rt {
+
+/// A delivered message: available from the superstep after it was sent.
+struct Message {
+  int src_pid = -1;
+  int tag = 0;
+  std::size_t items = 0;  ///< model packets, for cost accounting
+  std::vector<std::byte> payload;
+
+  /// Reinterprets the payload as trivially-copyable T values; throws
+  /// std::length_error if the payload size is not a multiple of sizeof(T).
+  template <typename T>
+  [[nodiscard]] std::vector<T> unpack_all() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (payload.size() % sizeof(T) != 0) {
+      throw std::length_error{"Message::unpack_all: size mismatch"};
+    }
+    std::vector<T> values(payload.size() / sizeof(T));
+    if (!values.empty()) {
+      std::memcpy(values.data(), payload.data(), payload.size());
+    }
+    return values;
+  }
+};
+
+/// Append-only typed send buffer (PVM pvm_pk* style).
+class PackBuffer {
+ public:
+  template <typename T>
+  void pack(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* bytes = reinterpret_cast<const std::byte*>(&value);
+    bytes_.insert(bytes_.end(), bytes, bytes + sizeof(T));
+  }
+
+  template <typename T>
+  void pack_span(std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* bytes = reinterpret_cast<const std::byte*>(values.data());
+    bytes_.insert(bytes_.end(), bytes, bytes + values.size_bytes());
+  }
+
+  [[nodiscard]] const std::vector<std::byte>& bytes() const noexcept {
+    return bytes_;
+  }
+  [[nodiscard]] std::vector<std::byte> take() noexcept { return std::move(bytes_); }
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+  void clear() noexcept { bytes_.clear(); }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+/// Sequential typed reader over a message payload (PVM pvm_upk* style).
+class UnpackBuffer {
+ public:
+  explicit UnpackBuffer(std::span<const std::byte> bytes) : bytes_(bytes) {}
+  explicit UnpackBuffer(const Message& message) : bytes_(message.payload) {}
+
+  template <typename T>
+  [[nodiscard]] T unpack() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (offset_ + sizeof(T) > bytes_.size()) {
+      throw std::out_of_range{"UnpackBuffer: read past end"};
+    }
+    T value;
+    std::memcpy(&value, bytes_.data() + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+  [[nodiscard]] std::vector<T> unpack_span(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (offset_ + count * sizeof(T) > bytes_.size()) {
+      throw std::out_of_range{"UnpackBuffer: read past end"};
+    }
+    std::vector<T> values(count);
+    if (count > 0) {
+      std::memcpy(values.data(), bytes_.data() + offset_, count * sizeof(T));
+    }
+    offset_ += count * sizeof(T);
+    return values;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - offset_;
+  }
+
+ private:
+  std::span<const std::byte> bytes_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace hbsp::rt

@@ -1,0 +1,211 @@
+#include "sim/cluster_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace hbsp::sim {
+
+ClusterSim::ClusterSim(const MachineTree& tree, SimParams params,
+                       bool record_events)
+    : tree_(&tree),
+      params_(params),
+      seconds_per_op_(params.seconds_per_op < 0.0 ? tree.g()
+                                                  : params.seconds_per_op),
+      network_(tree, params_),
+      trace_(tree.num_processors(), record_events),
+      clock_(static_cast<std::size_t>(tree.num_processors()), 0.0) {
+  params_.validate();
+}
+
+void ClusterSim::reset() {
+  std::fill(clock_.begin(), clock_.end(), 0.0);
+  trace_.clear();
+  network_.reset();
+  plan_counter_ = 0;
+}
+
+double ClusterSim::load_factor(int pid) const {
+  if (params_.load_stddev <= 0.0) return 1.0;
+  // One draw per (seed, superstep, pid): seed a tiny generator from the
+  // mixed key so factors are independent and reproducible.
+  std::uint64_t key = params_.load_seed;
+  key = util::splitmix64(key) ^ (plan_counter_ * 0x9e3779b97f4a7c15ULL);
+  key = util::splitmix64(key) ^ (static_cast<std::uint64_t>(pid) + 1);
+  util::Rng rng{util::splitmix64(key)};
+  return std::exp(rng.normal(0.0, params_.load_stddev));
+}
+
+double ClusterSim::now(int pid) const {
+  return clock_.at(static_cast<std::size_t>(pid));
+}
+
+double ClusterSim::makespan() const {
+  return *std::max_element(clock_.begin(), clock_.end());
+}
+
+SimResult ClusterSim::run(const CommSchedule& schedule) {
+  validate_schedule(*tree_, schedule);
+  reset();
+  SimResult result;
+  result.phase_completion.reserve(schedule.phases.size());
+  for (const auto& phase : schedule.phases) {
+    auto timings = execute_phase(phase);
+    double completion = 0.0;
+    for (const auto& t : timings) completion = std::max(completion, t.barrier_exit);
+    result.phase_completion.push_back(completion);
+    result.plan_timings.push_back(std::move(timings));
+  }
+  result.makespan = makespan();
+  return result;
+}
+
+std::vector<PlanTiming> ClusterSim::execute_phase(const Phase& phase) {
+  std::vector<PlanTiming> timings;
+  timings.reserve(phase.plans.size());
+  // Plans within a phase act on disjoint subtrees, so sequential processing
+  // of the plan list is still concurrent execution in virtual time.
+  for (const auto& plan : phase.plans) timings.push_back(execute_plan(plan));
+  return timings;
+}
+
+PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
+  ++plan_counter_;
+  const auto [first, last] = tree_->processor_range(plan.sync_scope);
+  PlanTiming timing;
+  timing.start = std::numeric_limits<double>::infinity();
+  for (int pid = first; pid < last; ++pid) {
+    timing.start = std::min(timing.start, clock_[static_cast<std::size_t>(pid)]);
+  }
+  if (first >= last) throw std::logic_error{"execute_plan: empty scope"};
+
+  // 1. Local computation.
+  for (const auto& work : plan.compute) {
+    const auto slot = static_cast<std::size_t>(work.pid);
+    const double seconds = work.ops * tree_->processor_compute_r(work.pid) *
+                           seconds_per_op_ * load_factor(work.pid);
+    trace_.record({clock_[slot], EventKind::kComputeStart, work.pid, -1,
+                   static_cast<std::size_t>(work.ops), plan.label});
+    clock_[slot] += seconds;
+    trace_.note_compute(work.pid, seconds);
+    trace_.record({clock_[slot], EventKind::kComputeEnd, work.pid, -1,
+                   static_cast<std::size_t>(work.ops), plan.label});
+  }
+
+  // 2. Sends, serialised per sender in issue order. Arrival times land in
+  //    per-receiver queues keyed by (time, issue sequence) for determinism.
+  struct Arrival {
+    double time;
+    std::size_t seq;
+    int src;
+    std::size_t items;
+    double lambda;  ///< §6 destination-cost weight of this message
+    bool operator<(const Arrival& other) const {
+      return time != other.time ? time < other.time : seq < other.seq;
+    }
+  };
+  std::map<int, std::vector<Arrival>> inbox;
+  std::size_t seq = 0;
+  for (const auto& t : plan.transfers) {
+    ++seq;
+    if (t.src_pid == t.dst_pid || t.items == 0) continue;
+    const auto slot = static_cast<std::size_t>(t.src_pid);
+    const double r = tree_->processor_r(t.src_pid);
+    const double lambda =
+        destination_costs_ ? destination_costs_->factor(t.src_pid, t.dst_pid)
+                           : 1.0;
+    const double busy = (params_.o_send * r +
+                         tree_->g() * r * lambda * static_cast<double>(t.items)) *
+                        load_factor(t.src_pid);
+    trace_.record({clock_[slot], EventKind::kSendStart, t.src_pid, t.dst_pid,
+                   t.items, plan.label});
+    clock_[slot] += busy;
+    trace_.note_send(t.src_pid, t.items, busy);
+    trace_.record({clock_[slot], EventKind::kSendEnd, t.src_pid, t.dst_pid,
+                   t.items, plan.label});
+
+    const int lca = tree_->lca_level(t.src_pid, t.dst_pid);
+    const double arrival = clock_[slot] + network_.latency(lca);
+    trace_.record({arrival, EventKind::kArrival, t.dst_pid, t.src_pid, t.items,
+                   plan.label});
+    inbox[t.dst_pid].push_back({arrival, seq, t.src_pid, t.items, lambda});
+
+    // Charge shared-medium occupancy on every crossed network.
+    route_scratch_.clear();
+    network_.route(t.src_pid, t.dst_pid, route_scratch_);
+    for (const MachineId net : route_scratch_) {
+      auto& stats = network_.stats(net);
+      stats.items_crossed += t.items;
+      ++stats.messages_crossed;
+      stats.wire_seconds +=
+          network_.wire_per_item(net.level) * static_cast<double>(t.items);
+    }
+  }
+
+  // 3. Receives: each receiver drains its inbox in arrival order after
+  //    finishing its own compute and sends.
+  for (auto& [dst, arrivals] : inbox) {
+    std::sort(arrivals.begin(), arrivals.end());
+    const auto slot = static_cast<std::size_t>(dst);
+    const double r = tree_->processor_r(dst);
+    for (const Arrival& a : arrivals) {
+      const double start = std::max(clock_[slot], a.time);
+      const double busy =
+          (params_.o_recv * r + params_.recv_ratio * tree_->g() * r * a.lambda *
+                                    static_cast<double>(a.items)) *
+          load_factor(dst);
+      trace_.record({start, EventKind::kRecvStart, dst, a.src, a.items,
+                     plan.label});
+      clock_[slot] = start + busy;
+      trace_.note_recv(dst, a.items, busy);
+      trace_.record({clock_[slot], EventKind::kRecvEnd, dst, a.src, a.items,
+                     plan.label});
+    }
+  }
+
+  // 4. Shared-medium throughput bound per crossed network, measured from the
+  //    plan's start. (Networks touched by this plan are inside its scope, so
+  //    the per-plan sum within this phase is the right aggregate.)
+  timing.work_end = 0.0;
+  for (int pid = first; pid < last; ++pid) {
+    timing.work_end =
+        std::max(timing.work_end, clock_[static_cast<std::size_t>(pid)]);
+  }
+  timing.wire_end = timing.start;
+  if (params_.model_wire_contention) {
+    // Re-walk the plan's transfers to sum occupancy per network this step.
+    std::map<std::size_t, double> busy_per_network;
+    for (const auto& t : plan.transfers) {
+      if (t.src_pid == t.dst_pid || t.items == 0) continue;
+      route_scratch_.clear();
+      network_.route(t.src_pid, t.dst_pid, route_scratch_);
+      for (const MachineId net : route_scratch_) {
+        const auto key = static_cast<std::size_t>(net.level) * 100000u +
+                         static_cast<std::size_t>(net.index);
+        busy_per_network[key] +=
+            network_.wire_per_item(net.level) * static_cast<double>(t.items);
+      }
+    }
+    for (const auto& [key, busy] : busy_per_network) {
+      timing.wire_end = std::max(timing.wire_end, timing.start + busy);
+    }
+  }
+
+  // 5. Barrier: everyone in scope jumps to the common exit time.
+  const double barrier_enter = std::max(timing.work_end, timing.wire_end);
+  timing.barrier_exit = barrier_enter + tree_->sync_L(plan.sync_scope);
+  for (int pid = first; pid < last; ++pid) {
+    trace_.record({clock_[static_cast<std::size_t>(pid)],
+                   EventKind::kBarrierEnter, pid, -1, 0, plan.label});
+    clock_[static_cast<std::size_t>(pid)] = timing.barrier_exit;
+    trace_.record({timing.barrier_exit, EventKind::kBarrierExit, pid, -1, 0,
+                   plan.label});
+  }
+  return timing;
+}
+
+}  // namespace hbsp::sim

@@ -1,0 +1,102 @@
+#pragma once
+// Deterministic discrete-event simulation of an HBSP^k machine.
+//
+// This is the repository's substitute for the paper's physical testbed. It
+// advances a virtual clock per processor through the phases of a
+// CommSchedule:
+//
+//   1. local computation:      ops · compute_r · seconds_per_op
+//   2. sends, in issue order:  (o_send + g·items) · r_src each, serialised at
+//                              the sender; arrival = send end + latency(LCA)
+//   3. receives, arrival order: (o_recv + recv_ratio·g·items) · r_dst each,
+//                              serialised at the receiver after its own work
+//   4. shared-medium bound:    each crossed network adds wire_per_item·items;
+//                              the plan cannot complete before its start plus
+//                              any network's total occupancy
+//   5. barrier:                all scope processors jump to
+//                              max(completions, wire bounds) + L_scope
+//
+// Self-sends cost nothing (§5.2: "a processor does not send data to itself").
+// Everything is deterministic: ties in arrival order break by send issue
+// sequence.
+
+#include <vector>
+
+#include "core/dest_costs.hpp"
+#include "core/machine.hpp"
+#include "core/schedule.hpp"
+#include "sim/network.hpp"
+#include "sim/sim_params.hpp"
+#include "sim/trace.hpp"
+
+namespace hbsp::sim {
+
+/// Timing of one executed plan within a phase.
+struct PlanTiming {
+  double start = 0.0;       ///< earliest participant clock at entry
+  double work_end = 0.0;    ///< latest endpoint completion (pre-barrier)
+  double wire_end = 0.0;    ///< latest shared-medium bound
+  double barrier_exit = 0.0;
+};
+
+/// Result of running a whole schedule.
+struct SimResult {
+  double makespan = 0.0;                     ///< latest clock over all pids
+  std::vector<double> phase_completion;      ///< per phase, max barrier exit
+  std::vector<std::vector<PlanTiming>> plan_timings;  ///< [phase][plan]
+};
+
+class ClusterSim {
+ public:
+  /// Validates `params`; `record_events` enables the full event trace.
+  ClusterSim(const MachineTree& tree, SimParams params,
+             bool record_events = false);
+
+  /// Enables the §6 destination-cost extension in the substrate: per-item
+  /// send and receive costs are scaled by λ(src,dst). The object must
+  /// outlive the simulator; nullptr restores the base behaviour.
+  void set_destination_costs(const DestinationCosts* costs) noexcept {
+    destination_costs_ = costs;
+  }
+
+  /// Runs a validated schedule from time zero (resets state first).
+  SimResult run(const CommSchedule& schedule);
+
+  /// Incremental mode for the runtime engine: executes one phase against the
+  /// current clocks and returns its timings.
+  std::vector<PlanTiming> execute_phase(const Phase& phase);
+
+  /// Zeroes all clocks, statistics and traces.
+  void reset();
+
+  /// Current virtual time of one processor.
+  [[nodiscard]] double now(int pid) const;
+
+  /// Latest virtual time over all processors.
+  [[nodiscard]] double makespan() const;
+
+  [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+  [[nodiscard]] const Network& network() const noexcept { return network_; }
+  [[nodiscard]] const MachineTree& tree() const noexcept { return *tree_; }
+  [[nodiscard]] const SimParams& params() const noexcept { return params_; }
+
+ private:
+  PlanTiming execute_plan(const SuperstepPlan& plan);
+
+  /// Background-load slowdown of `pid` during the current superstep
+  /// (log-normal, deterministic per load_seed/pid/superstep; 1.0 when the
+  /// load model is off).
+  [[nodiscard]] double load_factor(int pid) const;
+
+  const MachineTree* tree_;
+  SimParams params_;
+  double seconds_per_op_;
+  Network network_;
+  Trace trace_;
+  std::vector<double> clock_;
+  std::vector<MachineId> route_scratch_;
+  const DestinationCosts* destination_costs_ = nullptr;
+  std::size_t plan_counter_ = 0;
+};
+
+}  // namespace hbsp::sim

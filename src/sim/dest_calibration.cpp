@@ -1,0 +1,91 @@
+#include "sim/dest_calibration.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "sim/cluster_sim.hpp"
+
+namespace hbsp::sim {
+namespace {
+
+/// A pid pair whose LCA sits exactly at `level`, if any.
+std::optional<std::pair<int, int>> pair_at_level(const MachineTree& tree,
+                                                 int level) {
+  for (int a = 0; a < tree.num_processors(); ++a) {
+    for (int b = a + 1; b < tree.num_processors(); ++b) {
+      if (tree.lca_level(a, b) == level) return std::make_pair(a, b);
+    }
+  }
+  return std::nullopt;
+}
+
+/// Marginal per-item time of one src->dst message: simulate at two sizes and
+/// difference out the fixed costs (overheads, latency, barrier).
+double marginal_cost(const MachineTree& tree, const SimParams& params, int src,
+                     int dst, std::size_t items) {
+  const auto one_run = [&](std::size_t size) {
+    CommSchedule schedule;
+    SuperstepPlan& plan =
+        schedule.add_step("probe", std::max(1, tree.height()), tree.root());
+    plan.transfers.push_back({src, dst, size});
+    ClusterSim sim{tree, params};
+    return sim.run(schedule).makespan;
+  };
+  const double t_full = one_run(items);
+  const double t_half = one_run(items / 2);
+  return (t_full - t_half) / (static_cast<double>(items) / 2.0);
+}
+
+}  // namespace
+
+std::vector<LevelProbe> probe_levels(const MachineTree& tree,
+                                     const SimParams& params,
+                                     std::size_t probe_items) {
+  std::vector<LevelProbe> probes;
+  double base = 0.0;
+  double last_factor = 1.0;
+  for (int level = 1; level <= tree.height(); ++level) {
+    LevelProbe probe;
+    probe.level = level;
+    const auto pair = pair_at_level(tree, level);
+    if (pair) {
+      // Probe in the fast->fast direction where possible so r factors cancel
+      // against the level-1 baseline; using the same pair ordering for the
+      // baseline keeps this exact when level 1 shares an endpoint. In
+      // general the r of the probed endpoints also enters, so normalise by
+      // the endpoints' own r product.
+      const auto [a, b] = *pair;
+      const double raw = marginal_cost(tree, params, a, b, probe_items);
+      const double endpoint_r =
+          tree.processor_r(a) + params.recv_ratio * tree.processor_r(b);
+      probe.measured = true;
+      probe.seconds_per_item = raw;
+      const double normalised = raw / endpoint_r;
+      if (level == 1) {
+        base = normalised;
+        probe.factor = 1.0;
+      } else {
+        probe.factor = base > 0.0 ? normalised / base : 1.0;
+      }
+    } else {
+      probe.factor = last_factor;
+    }
+    // The extension requires factors >= 1 and non-decreasing.
+    probe.factor = std::max({probe.factor, last_factor, 1.0});
+    last_factor = probe.factor;
+    probes.push_back(probe);
+  }
+  return probes;
+}
+
+DestinationCosts calibrate_destination_costs(const MachineTree& tree,
+                                             const SimParams& params,
+                                             std::size_t probe_items) {
+  const auto probes = probe_levels(tree, params, probe_items);
+  std::vector<double> factors;
+  factors.reserve(probes.size());
+  for (const auto& probe : probes) factors.push_back(probe.factor);
+  return DestinationCosts::by_level(tree, factors);
+}
+
+}  // namespace hbsp::sim

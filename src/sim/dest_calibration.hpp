@@ -1,0 +1,39 @@
+#pragma once
+// Empirical calibration of the §6 destination-cost extension.
+//
+// The base HBSP^k model cannot see that a cross-campus message costs more
+// per item than an intra-SMP one; the substrate can. This probe measures, on
+// the simulator, the per-item cost of a large single-message transfer whose
+// endpoints meet at each network level, normalises by the level-1 cost, and
+// returns DestinationCosts::by_level factors — the λ values a practitioner
+// would measure with ping-pong microbenchmarks on a real hierarchy.
+
+#include "core/dest_costs.hpp"
+#include "core/machine.hpp"
+#include "sim/sim_params.hpp"
+
+namespace hbsp::sim {
+
+/// Result of probing one level.
+struct LevelProbe {
+  int level = 0;
+  bool measured = false;        ///< false when no pid pair meets at this level
+  double seconds_per_item = 0;  ///< marginal per-item cost at this level
+  double factor = 1.0;          ///< normalised to level 1
+};
+
+/// Probes every network level of `tree` under `params`. Levels without a
+/// probe-able pid pair inherit the previous level's factor. `probe_items`
+/// amortises fixed costs (overheads, latency, barriers).
+[[nodiscard]] std::vector<LevelProbe> probe_levels(const MachineTree& tree,
+                                                   const SimParams& params,
+                                                   std::size_t probe_items = 1u
+                                                                             << 20);
+
+/// Calibrated destination costs for `tree`: by_level with the probed factors
+/// (clamped to be >= 1 and non-decreasing, as the extension requires).
+[[nodiscard]] DestinationCosts calibrate_destination_costs(
+    const MachineTree& tree, const SimParams& params,
+    std::size_t probe_items = 1u << 20);
+
+}  // namespace hbsp::sim

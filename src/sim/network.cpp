@@ -1,0 +1,63 @@
+#include "sim/network.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hbsp::sim {
+
+Network::Network(const MachineTree& tree, const SimParams& params)
+    : tree_(&tree), params_(&params) {
+  level_offsets_.reserve(static_cast<std::size_t>(tree.num_levels()) + 1);
+  std::size_t total = 0;
+  for (int level = 0; level < tree.num_levels(); ++level) {
+    level_offsets_.push_back(total);
+    total += static_cast<std::size_t>(tree.machines_at(level));
+  }
+  level_offsets_.push_back(total);
+  stats_.resize(total);
+}
+
+double Network::latency(int lca_level) const {
+  if (lca_level < 1) return 0.0;
+  return params_->latency_base *
+         std::pow(params_->latency_level_scale, lca_level - 1);
+}
+
+double Network::wire_per_item(int level) const {
+  if (!params_->model_wire_contention) return 0.0;
+  return tree_->g() * params_->wire_factor_base *
+         std::pow(params_->wire_level_scale, level - 1);
+}
+
+void Network::route(int src_pid, int dst_pid, std::vector<MachineId>& out) const {
+  if (src_pid == dst_pid) return;
+  const int lca = tree_->lca_level(src_pid, dst_pid);
+  // Up from the source to (and including) the LCA...
+  for (int level = tree_->processor(src_pid).level + 1; level <= lca; ++level) {
+    out.push_back(tree_->ancestor_at(src_pid, level));
+  }
+  // ...and down to the destination, excluding the LCA already added.
+  for (int level = tree_->processor(dst_pid).level + 1; level < lca; ++level) {
+    out.push_back(tree_->ancestor_at(dst_pid, level));
+  }
+}
+
+std::size_t Network::slot(MachineId id) const {
+  if (id.level < 0 || id.level >= tree_->num_levels()) {
+    throw std::out_of_range{"Network::slot: bad level"};
+  }
+  return level_offsets_[static_cast<std::size_t>(id.level)] +
+         static_cast<std::size_t>(id.index);
+}
+
+const NetworkStats& Network::stats(MachineId id) const {
+  return stats_[slot(id)];
+}
+
+NetworkStats& Network::stats(MachineId id) { return stats_[slot(id)]; }
+
+void Network::reset() {
+  for (auto& s : stats_) s = NetworkStats{};
+}
+
+}  // namespace hbsp::sim

@@ -1,0 +1,47 @@
+#pragma once
+// The hierarchical network of a simulated HBSP^k machine.
+//
+// Every interior tree node owns a network (an SMP bus, a LAN segment, a
+// campus backbone, ...) connecting its children. A message between two
+// processors crosses the networks of all ancestors of either endpoint up to
+// and including their lowest common ancestor. Each network is a shared
+// medium: the simulator charges its per-item wire time as a throughput bound
+// at the closing barrier, and its level sets the per-message latency.
+
+#include <vector>
+
+#include "core/machine.hpp"
+#include "sim/sim_params.hpp"
+#include "sim/trace.hpp"
+
+namespace hbsp::sim {
+
+class Network {
+ public:
+  Network(const MachineTree& tree, const SimParams& params);
+
+  /// One-way message latency given the endpoints' LCA level (>= 1).
+  [[nodiscard]] double latency(int lca_level) const;
+
+  /// Shared-medium seconds one item occupies a level-`level` network.
+  [[nodiscard]] double wire_per_item(int level) const;
+
+  /// Appends the interior nodes whose networks a src->dst message crosses.
+  void route(int src_pid, int dst_pid, std::vector<MachineId>& out) const;
+
+  /// Cumulative statistics of one network (zeroed by reset()).
+  [[nodiscard]] const NetworkStats& stats(MachineId id) const;
+  [[nodiscard]] NetworkStats& stats(MachineId id);
+
+  void reset();
+
+ private:
+  [[nodiscard]] std::size_t slot(MachineId id) const;
+
+  const MachineTree* tree_;
+  const SimParams* params_;
+  std::vector<std::size_t> level_offsets_;  ///< flat indexing of (level, index)
+  std::vector<NetworkStats> stats_;
+};
+
+}  // namespace hbsp::sim

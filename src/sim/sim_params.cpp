@@ -1,0 +1,23 @@
+#include "sim/sim_params.hpp"
+
+#include <stdexcept>
+
+namespace hbsp::sim {
+
+void SimParams::validate() const {
+  if (recv_ratio < 0.0) throw std::invalid_argument{"SimParams: recv_ratio < 0"};
+  if (o_send < 0.0 || o_recv < 0.0) {
+    throw std::invalid_argument{"SimParams: negative per-message overhead"};
+  }
+  if (wire_factor_base < 0.0 || wire_level_scale <= 0.0) {
+    throw std::invalid_argument{"SimParams: bad wire contention parameters"};
+  }
+  if (latency_base < 0.0 || latency_level_scale <= 0.0) {
+    throw std::invalid_argument{"SimParams: bad latency parameters"};
+  }
+  if (load_stddev < 0.0) {
+    throw std::invalid_argument{"SimParams: load_stddev < 0"};
+  }
+}
+
+}  // namespace hbsp::sim

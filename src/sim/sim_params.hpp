@@ -1,0 +1,69 @@
+#pragma once
+// Tunable mechanics of the simulated heterogeneous cluster.
+//
+// The simulator stands in for the paper's physical testbed (ten non-dedicated
+// SUN/SGI workstations on 100 Mbit/s Ethernet, PVM 3). Its cost mechanics are
+// the cost classes the HBSP^k model names — per-item injection scaled by r,
+// barrier costs L — plus the three PVM/Ethernet artefacts the paper's §5
+// discussion appeals to:
+//
+//  1. sender-side packing dominates receive processing (recv_ratio < 1) — the
+//     source of the paper's p = 2 gather anomaly where the *slow* root wins;
+//  2. per-message fixed overheads at both ends (PVM daemon hops);
+//  3. each cluster network is a shared medium: the items crossing it serialise
+//     at the wire rate, which is why broadcast's total-exchange phase
+//     dominates and the root's speed barely matters (Fig. 4).
+//
+// None of the figure shapes are special-cased; they all emerge from these
+// mechanisms. `ablation_substrate` sweeps them to show the shapes are robust.
+
+#include <cstdint>
+
+namespace hbsp::sim {
+
+struct SimParams {
+  /// Receiver drain cost per item, as a fraction of the sender's per-item
+  /// injection cost g. PVM receives (daemon hand-off + unpack) were cheaper
+  /// than sends (pack + XDR + daemon). Must be >= 0.
+  double recv_ratio = 0.7;
+
+  /// Fixed per-message cost at the sender, seconds at r = 1. Scaled by the
+  /// sender's r.
+  double o_send = 20e-6;
+
+  /// Fixed per-message cost at the receiver, seconds at r = 1. Scaled by the
+  /// receiver's r.
+  double o_recv = 30e-6;
+
+  /// Shared-medium per-item wire time of a level-1 network, as a fraction of
+  /// g. Every item whose route crosses a network occupies that network for
+  /// g·wire_factor_base·wire_level_scale^(level-1) seconds (a throughput
+  /// bound applied at the closing barrier). Set model_wire_contention=false
+  /// to disable (pure endpoint model).
+  double wire_factor_base = 0.6;
+  double wire_level_scale = 8.0;
+  bool model_wire_contention = true;
+
+  /// Per-message one-way latency when the lowest common ancestor of the two
+  /// endpoints is at level 1; multiplied by latency_level_scale per extra
+  /// level (campus/wide-area links are order-of-magnitude slower, §1).
+  double latency_base = 0.5e-3;
+  double latency_level_scale = 10.0;
+
+  /// Seconds per abstract compute op for the fastest machine; a negative
+  /// value means "use the machine's g" (same default as CostModel).
+  double seconds_per_op = -1.0;
+
+  /// Non-dedicated-cluster load model (§5.1: the paper's testbed was "a
+  /// non-dedicated heterogeneous cluster"). When load_stddev > 0, every
+  /// (processor, superstep) pair draws an independent log-normal slowdown
+  /// with sigma = load_stddev applied to that processor's busy time in that
+  /// superstep. Deterministic per load_seed; 0 disables the model.
+  double load_stddev = 0.0;
+  std::uint64_t load_seed = 1;
+
+  /// Throws std::invalid_argument if any field is out of range.
+  void validate() const;
+};
+
+}  // namespace hbsp::sim

@@ -1,0 +1,63 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+
+namespace hbsp::sim {
+
+const char* to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kComputeStart: return "compute-start";
+    case EventKind::kComputeEnd: return "compute-end";
+    case EventKind::kSendStart: return "send-start";
+    case EventKind::kSendEnd: return "send-end";
+    case EventKind::kArrival: return "arrival";
+    case EventKind::kRecvStart: return "recv-start";
+    case EventKind::kRecvEnd: return "recv-end";
+    case EventKind::kBarrierEnter: return "barrier-enter";
+    case EventKind::kBarrierExit: return "barrier-exit";
+  }
+  return "?";
+}
+
+void Trace::record(TraceEvent event) {
+  if (record_events_) events_.push_back(std::move(event));
+}
+
+void Trace::note_send(int pid, std::size_t items, double seconds) {
+  auto& s = pid_stats_.at(static_cast<std::size_t>(pid));
+  ++s.messages_sent;
+  s.items_sent += items;
+  s.send_seconds += seconds;
+  s.busy_seconds += seconds;
+}
+
+void Trace::note_recv(int pid, std::size_t items, double seconds) {
+  auto& s = pid_stats_.at(static_cast<std::size_t>(pid));
+  ++s.messages_received;
+  s.items_received += items;
+  s.recv_seconds += seconds;
+  s.busy_seconds += seconds;
+}
+
+void Trace::note_compute(int pid, double seconds) {
+  auto& s = pid_stats_.at(static_cast<std::size_t>(pid));
+  s.compute_seconds += seconds;
+  s.busy_seconds += seconds;
+}
+
+void Trace::dump(std::ostream& out) const {
+  for (const auto& e : events_) {
+    out << "t=" << e.time << "  P" << e.pid << ' ' << to_string(e.kind);
+    if (e.peer >= 0) out << " <-> P" << e.peer;
+    if (e.items > 0) out << " (" << e.items << " items)";
+    if (!e.label.empty()) out << "  [" << e.label << ']';
+    out << '\n';
+  }
+}
+
+void Trace::clear() {
+  events_.clear();
+  for (auto& s : pid_stats_) s = PidStats{};
+}
+
+}  // namespace hbsp::sim

@@ -1,0 +1,92 @@
+#pragma once
+// Event tracing and per-entity statistics for the cluster simulator.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/machine.hpp"
+
+namespace hbsp::sim {
+
+/// Kinds of simulator events worth recording.
+enum class EventKind : std::uint8_t {
+  kComputeStart,
+  kComputeEnd,
+  kSendStart,
+  kSendEnd,
+  kArrival,
+  kRecvStart,
+  kRecvEnd,
+  kBarrierEnter,
+  kBarrierExit,
+};
+
+[[nodiscard]] const char* to_string(EventKind kind) noexcept;
+
+/// One trace record. `peer` is the other endpoint for message events, -1
+/// otherwise; `items` is the message size or compute ops.
+struct TraceEvent {
+  double time = 0.0;
+  EventKind kind = EventKind::kComputeStart;
+  int pid = -1;
+  int peer = -1;
+  std::size_t items = 0;
+  std::string label;
+};
+
+/// Per-processor aggregates over a simulation run.
+struct PidStats {
+  double busy_seconds = 0.0;     ///< compute + send + receive occupancy
+  double compute_seconds = 0.0;
+  double send_seconds = 0.0;
+  double recv_seconds = 0.0;
+  std::size_t messages_sent = 0;
+  std::size_t messages_received = 0;
+  std::size_t items_sent = 0;
+  std::size_t items_received = 0;
+};
+
+/// Per-network (interior tree node) aggregates.
+struct NetworkStats {
+  std::size_t items_crossed = 0;
+  std::size_t messages_crossed = 0;
+  double wire_seconds = 0.0;  ///< shared-medium occupancy charged
+};
+
+/// Collects events and aggregates. Event recording can be disabled (stats are
+/// always kept) to keep long sweeps cheap.
+class Trace {
+ public:
+  explicit Trace(int num_pids, bool record_events = false)
+      : record_events_(record_events),
+        pid_stats_(static_cast<std::size_t>(num_pids)) {}
+
+  void record(TraceEvent event);
+  void note_send(int pid, std::size_t items, double seconds);
+  void note_recv(int pid, std::size_t items, double seconds);
+  void note_compute(int pid, double seconds);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] const PidStats& pid_stats(int pid) const {
+    return pid_stats_.at(static_cast<std::size_t>(pid));
+  }
+  [[nodiscard]] std::size_t num_pids() const noexcept { return pid_stats_.size(); }
+  [[nodiscard]] bool recording_events() const noexcept { return record_events_; }
+
+  /// Renders events as one line each ("t=0.00123  P3 send-end -> P0 (250 items)").
+  void dump(std::ostream& out) const;
+
+  void clear();
+
+ private:
+  bool record_events_;
+  std::vector<TraceEvent> events_;
+  std::vector<PidStats> pid_stats_;
+};
+
+}  // namespace hbsp::sim

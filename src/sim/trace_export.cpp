@@ -1,0 +1,95 @@
+#include "sim/trace_export.hpp"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+namespace hbsp::sim {
+namespace {
+
+/// Escapes a string for JSON embedding.
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += ch; break;
+    }
+  }
+  return out;
+}
+
+/// Phase name of the duration event an EventKind opens, if any.
+const char* duration_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kComputeStart: return "compute";
+    case EventKind::kSendStart: return "send";
+    case EventKind::kRecvStart: return "recv";
+    default: return nullptr;
+  }
+}
+
+bool is_duration_end(EventKind kind) {
+  return kind == EventKind::kComputeEnd || kind == EventKind::kSendEnd ||
+         kind == EventKind::kRecvEnd;
+}
+
+}  // namespace
+
+void export_chrome_trace(const Trace& trace, std::ostream& out) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const std::string& event_json) {
+    if (!first) out << ',';
+    first = false;
+    out << '\n' << event_json;
+  };
+
+  // Track metadata: one "thread" per processor.
+  for (std::size_t pid = 0; pid < trace.num_pids(); ++pid) {
+    emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+         std::to_string(pid) + ",\"args\":{\"name\":\"P" + std::to_string(pid) +
+         "\"}}");
+  }
+
+  // Pair start/end events per processor (they nest trivially: the simulator
+  // serialises each processor's work).
+  std::map<int, TraceEvent> open;  // pid -> pending start event
+  for (const auto& event : trace.events()) {
+    const double us = event.time * 1e6;
+    if (const char* name = duration_name(event.kind)) {
+      open[event.pid] = event;
+      std::string json = "{\"name\":\"" + std::string{name};
+      if (event.peer >= 0) json += " P" + std::to_string(event.peer);
+      json += "\",\"ph\":\"B\",\"pid\":1,\"tid\":" + std::to_string(event.pid) +
+              ",\"ts\":" + std::to_string(us) + ",\"args\":{\"items\":" +
+              std::to_string(event.items) + ",\"step\":\"" +
+              json_escape(event.label) + "\"}}";
+      emit(json);
+    } else if (is_duration_end(event.kind)) {
+      emit("{\"ph\":\"E\",\"pid\":1,\"tid\":" + std::to_string(event.pid) +
+           ",\"ts\":" + std::to_string(us) + "}");
+      open.erase(event.pid);
+    } else if (event.kind == EventKind::kBarrierExit ||
+               event.kind == EventKind::kArrival) {
+      emit("{\"name\":\"" + std::string{to_string(event.kind)} +
+           "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" +
+           std::to_string(event.pid) + ",\"ts\":" + std::to_string(us) + "}");
+    }
+  }
+  out << "\n]}\n";
+}
+
+void export_chrome_trace(const Trace& trace, const std::string& path) {
+  std::ofstream out{path};
+  if (!out) {
+    throw std::runtime_error{"export_chrome_trace: cannot open " + path};
+  }
+  export_chrome_trace(trace, out);
+}
+
+}  // namespace hbsp::sim

@@ -1,0 +1,27 @@
+#pragma once
+// Chrome-tracing export of simulator event traces.
+//
+// Writes the Trace Event Format (the JSON consumed by chrome://tracing and
+// https://ui.perfetto.dev), one track per processor, so a simulated
+// collective can be inspected visually: sender serialisation, the root's
+// receive queue, barrier waits, and the slow machines' long slices are all
+// immediately visible.
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace hbsp::sim {
+
+/// Serialises a recorded event trace (ClusterSim constructed with
+/// record_events = true) as Trace Event Format JSON. Durations are derived
+/// by pairing start/end events per processor; instantaneous events (arrival,
+/// barrier enter/exit) become instant events. Virtual seconds map to
+/// microseconds in the output (the format's native unit).
+void export_chrome_trace(const Trace& trace, std::ostream& out);
+
+/// Convenience: export to a file; throws std::runtime_error if unwritable.
+void export_chrome_trace(const Trace& trace, const std::string& path);
+
+}  // namespace hbsp::sim

@@ -1,0 +1,78 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace hbsp::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    if (body.empty()) throw std::invalid_argument{"bare '--' is not a flag"};
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string{argv[i + 1]}.rfind("--", 0) != 0) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "true";
+    }
+  }
+}
+
+Cli& Cli::allow(const std::string& name, const std::string& help) {
+  known_[name] = help;
+  return *this;
+}
+
+void Cli::validate() const {
+  for (const auto& [name, value] : flags_) {
+    if (!known_.contains(name)) {
+      throw std::invalid_argument{"unknown flag --" + name + "\n" + help()};
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return flags_.contains(name); }
+
+std::string Cli::get(const std::string& name,
+                     const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::string Cli::help() const {
+  std::string text = "flags:\n";
+  for (const auto& [name, description] : known_) {
+    text += "  --" + name;
+    if (!description.empty()) text += "  " + description;
+    text += '\n';
+  }
+  return text;
+}
+
+}  // namespace hbsp::util

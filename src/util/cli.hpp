@@ -1,0 +1,52 @@
+#pragma once
+// Tiny command-line flag parser for the bench and example binaries.
+//
+// Supports `--name=value`, `--name value`, and bare boolean `--name`.
+// Unknown flags are an error so typos in sweep scripts fail loudly.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hbsp::util {
+
+/// Parsed flags plus positional arguments.
+class Cli {
+ public:
+  /// Parses argv; throws std::invalid_argument on malformed input.
+  Cli(int argc, const char* const* argv);
+
+  /// Registers a flag so it is considered known; returns *this for chaining.
+  Cli& allow(const std::string& name, const std::string& help = "");
+
+  /// Rejects any parsed flag that was never allow()ed.
+  void validate() const;
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+  /// Renders the registered flags as a help string.
+  [[nodiscard]] std::string help() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::map<std::string, std::string> known_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hbsp::util

@@ -1,0 +1,33 @@
+#pragma once
+// Minimal CSV emission so benchmark sweeps can be re-plotted externally.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hbsp::util {
+
+/// Writes rows of already-formatted cells as RFC-4180-quoted CSV.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row, quoting cells that contain commas, quotes or newlines.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Flushes and closes; called by the destructor as well.
+  void close();
+
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+ private:
+  std::ofstream out_;
+};
+
+/// Quotes a single CSV cell if needed.
+[[nodiscard]] std::string csv_escape(const std::string& cell);
+
+}  // namespace hbsp::util

@@ -1,0 +1,61 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace hbsp::util {
+
+std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) noexcept {
+  const std::uint64_t span = hi - lo;  // inclusive range width - 1
+  if (span == std::numeric_limits<std::uint64_t>::max()) return operator()();
+  const std::uint64_t bound = span + 1;
+  // Lemire-style rejection: draw until the value falls in the unbiased zone.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = operator()();
+    // 128-bit multiply-shift maps r into [0, bound) with at most one retry zone.
+    __extension__ using u128 = unsigned __int128;
+    const auto wide = static_cast<u128>(r) * bound;
+    const auto low = static_cast<std::uint64_t>(wide);
+    if (low >= threshold) return lo + static_cast<std::uint64_t>(wide >> 64);
+  }
+}
+
+std::int64_t Rng::uniform_i64(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto width =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                   uniform_u64(0, width));
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+double Rng::normal() noexcept {
+  // Marsaglia polar method; caches nothing so calls stay independent of order.
+  for (;;) {
+    const double u = 2.0 * uniform01() - 1.0;
+    const double v = 2.0 * uniform01() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) return u * std::sqrt(-2.0 * std::log(s) / s);
+  }
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+std::vector<std::int32_t> uniform_int_workload(std::size_t count,
+                                               std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<std::int32_t> data;
+  data.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    data.push_back(static_cast<std::int32_t>(
+        rng.uniform_i64(std::numeric_limits<std::int32_t>::min(),
+                        std::numeric_limits<std::int32_t>::max())));
+  }
+  return data;
+}
+
+}  // namespace hbsp::util

@@ -1,0 +1,100 @@
+#pragma once
+// Deterministic pseudo-random number generation for simulations and tests.
+//
+// The simulator and all benchmarks must be exactly reproducible across runs
+// and platforms, so we avoid std::default_random_engine (unspecified) and the
+// distribution objects in <random> (implementation-defined sequences).
+// Xoshiro256** (Blackman & Vigna) seeded through SplitMix64 gives a fast,
+// well-tested generator with a portable, fully specified output sequence.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace hbsp::util {
+
+/// SplitMix64 step; used to expand a single 64-bit seed into generator state.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Xoshiro256** generator. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64.
+  explicit constexpr Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive), bias-free via rejection.
+  [[nodiscard]] std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  [[nodiscard]] constexpr double uniform01() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Standard normal variate (Marsaglia polar method).
+  [[nodiscard]] double normal() noexcept;
+
+  /// Normal variate with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) noexcept {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_u64(0, i - 1));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-entity streams).
+  [[nodiscard]] Rng split() noexcept { return Rng{operator()()}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// The paper's workload: `count` uniformly distributed integers.
+[[nodiscard]] std::vector<std::int32_t> uniform_int_workload(std::size_t count,
+                                                             std::uint64_t seed);
+
+}  // namespace hbsp::util

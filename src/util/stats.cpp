@@ -1,0 +1,71 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hbsp::util {
+
+Summary summarize(std::span<const double> sample) noexcept {
+  Accumulator acc;
+  for (const double v : sample) acc.add(v);
+  return acc.summary();
+}
+
+double mean(std::span<const double> sample) noexcept {
+  if (sample.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : sample) sum += v;
+  return sum / static_cast<double>(sample.size());
+}
+
+double geometric_mean(std::span<const double> sample) noexcept {
+  if (sample.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double v : sample) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<double>(sample.size()));
+}
+
+double median(std::span<const double> sample) { return quantile(sample, 0.5); }
+
+double quantile(std::span<const double> sample, double q) {
+  if (sample.empty()) return 0.0;
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double ci95_halfwidth(const Summary& s) noexcept {
+  if (s.count < 2) return 0.0;
+  return 1.96 * s.stddev / std::sqrt(static_cast<double>(s.count));
+}
+
+void Accumulator::add(double value) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+Summary Accumulator::summary() const noexcept {
+  Summary s;
+  s.count = count_;
+  if (count_ == 0) return s;
+  s.min = min_;
+  s.max = max_;
+  s.mean = mean_;
+  s.stddev =
+      count_ > 1 ? std::sqrt(m2_ / static_cast<double>(count_ - 1)) : 0.0;
+  return s;
+}
+
+}  // namespace hbsp::util

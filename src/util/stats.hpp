@@ -1,0 +1,52 @@
+#pragma once
+// Small descriptive-statistics helpers used by benchmarks and tests.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hbsp::util {
+
+/// Summary of a sample: count, extrema, mean, sample standard deviation.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample (n-1) standard deviation; 0 for n < 2
+};
+
+/// Computes a Summary over the sample; returns a zeroed Summary when empty.
+[[nodiscard]] Summary summarize(std::span<const double> sample) noexcept;
+
+/// Arithmetic mean; 0 when empty.
+[[nodiscard]] double mean(std::span<const double> sample) noexcept;
+
+/// Geometric mean; requires strictly positive values, 0 when empty.
+[[nodiscard]] double geometric_mean(std::span<const double> sample) noexcept;
+
+/// Median (interpolated for even sizes); 0 when empty.
+[[nodiscard]] double median(std::span<const double> sample);
+
+/// Linear-interpolated quantile, q in [0, 1]; 0 when empty.
+[[nodiscard]] double quantile(std::span<const double> sample, double q);
+
+/// Half-width of a normal-approximation 95% confidence interval of the mean.
+[[nodiscard]] double ci95_halfwidth(const Summary& s) noexcept;
+
+/// Online accumulator (Welford) for streaming summaries.
+class Accumulator {
+ public:
+  void add(double value) noexcept;
+  [[nodiscard]] Summary summary() const noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace hbsp::util

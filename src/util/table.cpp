@@ -1,0 +1,66 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <ostream>
+#include <stdexcept>
+
+namespace hbsp::util {
+
+void Table::set_header(std::vector<std::string> header) {
+  if (header.empty()) throw std::invalid_argument{"Table header must be non-empty"};
+  if (!rows_.empty()) throw std::logic_error{"Table header must be set before rows"};
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument{"Table row width does not match header"};
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+  return buffer;
+}
+
+std::string Table::num(long long value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%lld", value);
+  return buffer;
+}
+
+void Table::render(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << ' ' << row[c];
+      out << std::string(widths[c] - row[c].size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+
+  std::size_t total = 1;
+  for (const std::size_t w : widths) total += w + 3;
+
+  out << '\n' << title_ << '\n' << std::string(total, '-') << '\n';
+  emit_row(header_);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  out << std::string(total, '-') << '\n';
+}
+
+void Table::print() const { render(std::cout); }
+
+}  // namespace hbsp::util

@@ -1,0 +1,52 @@
+#pragma once
+// Console table rendering for benchmark output.
+//
+// Every bench binary prints the rows/series of one paper table or figure; a
+// shared renderer keeps the output uniform and easy to diff across runs.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hbsp::util {
+
+/// Column alignment within a rendered table.
+enum class Align { kLeft, kRight };
+
+/// An aligned, monospace table with a title, headers, and string cells.
+///
+/// Numeric helpers format with fixed precision so columns line up. Rendering
+/// pads to the widest cell per column; no wrapping is performed.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row; column count is fixed by this call.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a row; must match the header's column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double with `precision` digits after the point.
+  [[nodiscard]] static std::string num(double value, int precision = 3);
+
+  /// Formats an integer.
+  [[nodiscard]] static std::string num(long long value);
+
+  /// Renders to the stream with a title rule and column separators.
+  void render(std::ostream& out) const;
+
+  /// Renders to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return header_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hbsp::util

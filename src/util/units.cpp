@@ -1,0 +1,39 @@
+#include "util/units.hpp"
+
+#include <cstdio>
+
+namespace hbsp::util {
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buffer[64];
+  if (bytes >= 1000ULL * 1000 * 1000) {
+    std::snprintf(buffer, sizeof buffer, "%.1f GB",
+                  static_cast<double>(bytes) / 1e9);
+  } else if (bytes >= 1000ULL * 1000) {
+    std::snprintf(buffer, sizeof buffer, "%.1f MB",
+                  static_cast<double>(bytes) / 1e6);
+  } else if (bytes >= 1000ULL) {
+    std::snprintf(buffer, sizeof buffer, "%.1f KB",
+                  static_cast<double>(bytes) / 1e3);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buffer;
+}
+
+std::string format_time(double seconds) {
+  char buffer[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buffer, sizeof buffer, "%.3f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buffer, sizeof buffer, "%.3f ms", seconds * 1e3);
+  } else if (seconds >= 1e-6) {
+    std::snprintf(buffer, sizeof buffer, "%.3f us", seconds * 1e6);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.1f ns", seconds * 1e9);
+  }
+  return buffer;
+}
+
+}  // namespace hbsp::util

@@ -1,0 +1,20 @@
+#pragma once
+// Unit formatting/parsing helpers shared by benches and examples.
+
+#include <cstdint>
+#include <string>
+
+namespace hbsp::util {
+
+/// "1.5 KB" / "3.2 MB" style byte formatting (powers of 1000, as in the paper).
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+/// Virtual-time formatting: picks ns/us/ms/s based on magnitude.
+[[nodiscard]] std::string format_time(double seconds);
+
+/// Number of 4-byte integers in `kbytes` KBytes (paper workload sizing).
+[[nodiscard]] constexpr std::size_t ints_in_kbytes(std::size_t kbytes) noexcept {
+  return kbytes * 1000 / sizeof(std::int32_t);
+}
+
+}  // namespace hbsp::util

@@ -1,0 +1,130 @@
+// Tests for the algorithm advisor: it must follow the paper's §4 guidance
+// mechanically — fastest root, balanced shares where they help, one-phase
+// broadcast for tiny messages or crawler-dominated clusters, two-phase
+// otherwise — and its chosen plan must actually be the cheapest candidate.
+
+#include "collectives/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+#include "core/topology.hpp"
+
+namespace hbsp::coll {
+namespace {
+
+TEST(Advisor, GatherPicksFastestRootAndBalancedShares) {
+  const MachineTree tree = make_paper_testbed(8);
+  const auto advice = advise(tree, CollectiveKind::kGather, 100000);
+  EXPECT_EQ(advice.root_pid, tree.coordinator_pid(tree.root()));
+  EXPECT_EQ(advice.shares, Shares::kBalanced);
+  EXPECT_EQ(advice.options.size(), 4u);  // 2 roots x 2 share policies
+  EXPECT_FALSE(advice.rationale.empty());
+}
+
+TEST(Advisor, BroadcastPicksOnePhaseForTinyMessages) {
+  const MachineTree tree = make_paper_testbed(8);
+  const auto advice = advise(tree, CollectiveKind::kBroadcast, 10);
+  EXPECT_EQ(advice.top_phase, TopPhase::kOnePhase);
+}
+
+TEST(Advisor, BroadcastPicksTwoPhaseForLargeMessages) {
+  const MachineTree tree = make_paper_testbed(8);
+  const auto advice = advise(tree, CollectiveKind::kBroadcast, 250000);
+  EXPECT_EQ(advice.top_phase, TopPhase::kTwoPhase);
+}
+
+TEST(Advisor, BroadcastPicksOnePhaseWhenCrawlerDominates) {
+  // r_s = 4 >= m-1 = 2: one-phase never loses (§4.4).
+  const MachineTree tree = make_hbsp1_cluster(std::array{1.0, 2.0, 4.0});
+  for (const std::size_t n : {10u, 100000u}) {
+    const auto advice = advise(tree, CollectiveKind::kBroadcast, n);
+    EXPECT_EQ(advice.top_phase, TopPhase::kOnePhase) << "n=" << n;
+  }
+  EXPECT_NE(advise(tree, CollectiveKind::kBroadcast, 100000)
+                .rationale.find("r_s"),
+            std::string::npos);
+}
+
+TEST(Advisor, ChoiceIsTheCheapestEvaluatedOption) {
+  const MachineTree tree = make_figure1_cluster();
+  for (const auto kind :
+       {CollectiveKind::kGather, CollectiveKind::kBroadcast,
+        CollectiveKind::kScatter, CollectiveKind::kReduce}) {
+    const auto advice = advise(tree, kind, 50000);
+    double cheapest = advice.options.front().predicted_cost;
+    for (const auto& option : advice.options) {
+      cheapest = std::min(cheapest, option.predicted_cost);
+    }
+    EXPECT_DOUBLE_EQ(advice.predicted_cost, cheapest) << to_string(kind);
+  }
+}
+
+TEST(Advisor, PlanRealisesTheAdvice) {
+  const MachineTree tree = make_figure1_cluster();
+  const CostModel model{tree};
+  for (const auto kind :
+       {CollectiveKind::kGather, CollectiveKind::kBroadcast,
+        CollectiveKind::kScatter, CollectiveKind::kReduce}) {
+    const auto advice = advise(tree, kind, 50000);
+    const auto schedule = advice.plan(tree, 50000);
+    validate_schedule(tree, schedule);
+    EXPECT_DOUBLE_EQ(model.cost(schedule).total(), advice.predicted_cost)
+        << to_string(kind);
+  }
+}
+
+TEST(Advisor, FlatOnlyCollectivesWorkOnFlatMachines) {
+  const MachineTree tree = make_paper_testbed(5);
+  for (const auto kind : {CollectiveKind::kAllgather, CollectiveKind::kScan,
+                          CollectiveKind::kAlltoall}) {
+    const auto advice = advise(tree, kind, 10000);
+    EXPECT_EQ(advice.root_pid, -1) << to_string(kind);
+    EXPECT_GT(advice.predicted_cost, 0.0) << to_string(kind);
+    EXPECT_EQ(advice.options.size(), 2u);
+  }
+}
+
+
+TEST(Advisor, AllgatherSwitchesToHierarchicalCompositionOnDeepMachines) {
+  const MachineTree tree = make_figure1_cluster();
+  const auto advice = advise(tree, CollectiveKind::kAllgather, 20000);
+  const auto schedule = advice.plan(tree, 20000);
+  validate_schedule(tree, schedule);
+  // gather phases (2 levels) + broadcast phases (2 per level x 2 levels).
+  EXPECT_GT(schedule.phases.size(), 2u);
+  const CostModel model{tree};
+  EXPECT_DOUBLE_EQ(model.cost(schedule).total(), advice.predicted_cost);
+}
+
+TEST(Advisor, FlatOnlyCollectivesRejectHierarchies) {
+  const MachineTree tree = make_figure1_cluster();
+  EXPECT_THROW((void)advise(tree, CollectiveKind::kAlltoall, 100),
+               std::invalid_argument);
+}
+
+TEST(Advisor, RejectsSingleProcessorMachines) {
+  MachineSpec solo;
+  solo.r = 1.0;
+  const MachineTree tree = MachineTree::build(solo, 1e-6);
+  EXPECT_THROW((void)advise(tree, CollectiveKind::kGather, 100),
+               std::invalid_argument);
+}
+
+TEST(Advisor, HomogeneousClusterIsShareAgnosticForGather) {
+  // With identical processors, balanced == equal; the advisor must not
+  // invent a difference and must still prefer the (tie-broken) balanced
+  // policy with the coordinator root.
+  const MachineTree tree = make_hbsp1_cluster(std::array{1.0, 1.0, 1.0, 1.0});
+  const auto advice = advise(tree, CollectiveKind::kGather, 10000);
+  EXPECT_EQ(advice.root_pid, 0);
+  const double a = advice.options[0].predicted_cost;
+  for (const auto& option : advice.options) {
+    if (option.description.find("ws0") != std::string::npos) {
+      EXPECT_DOUBLE_EQ(option.predicted_cost, a);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hbsp::coll

@@ -1,0 +1,105 @@
+// Tests for the hierarchical all-gather composition (gather + broadcast).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "collectives/executors.hpp"
+#include "collectives/planners.hpp"
+#include "core/cost_model.hpp"
+#include "core/topology.hpp"
+#include "sim/cluster_sim.hpp"
+
+namespace hbsp::coll {
+namespace {
+
+const sim::SimParams kParams{};
+
+TEST(AllgatherTreePlanner, CostIsGatherPlusBroadcast) {
+  const MachineTree tree = make_figure1_cluster();
+  const CostModel model{tree};
+  const std::size_t n = 25000;
+  const double composed = model.cost(plan_allgather_tree(tree, n)).total();
+  const double up = model.cost(plan_gather(tree, n, {})).total();
+  const double down = model.cost(plan_broadcast(tree, n, {})).total();
+  EXPECT_DOUBLE_EQ(composed, up + down);
+}
+
+TEST(AllgatherTreePlanner, UpperNetworksCarryFarLessThanFlatExchange) {
+  const MachineTree tree = make_wide_area_grid();
+  const std::size_t n = 10000;
+
+  // Flat total exchange (what plan_allgather would do if it allowed
+  // hierarchies): every pair exchanges shares across the machine.
+  CommSchedule flat;
+  SuperstepPlan& plan = flat.add_step("flat exchange", 3, tree.root());
+  const auto shares = leaf_shares(tree, n, Shares::kBalanced);
+  for (int a = 0; a < tree.num_processors(); ++a) {
+    for (int b = 0; b < tree.num_processors(); ++b) {
+      if (a != b && shares[static_cast<std::size_t>(a)] > 0) {
+        plan.transfers.push_back({a, b, shares[static_cast<std::size_t>(a)]});
+      }
+    }
+  }
+
+  sim::ClusterSim sim{tree, kParams};
+  (void)sim.run(flat);
+  const auto flat_wan = sim.network().stats(tree.root()).items_crossed;
+  sim.reset();
+  (void)sim.run(plan_allgather_tree(tree, n));
+  const auto tree_wan = sim.network().stats(tree.root()).items_crossed;
+  EXPECT_LT(tree_wan, flat_wan / 3);
+}
+
+TEST(AllgatherTreeExecutor, EveryoneAssemblesEverything) {
+  for (const bool deep : {false, true}) {
+    const MachineTree tree =
+        deep ? make_figure1_cluster() : make_paper_testbed(5);
+    const std::size_t n = 999;
+    const auto shares = leaf_shares(tree, n, Shares::kBalanced);
+    std::vector<std::int32_t> global(n);
+    std::iota(global.begin(), global.end(), 7);
+    std::atomic<int> confirmed{0};
+
+    const rt::Program program = [&](rt::Hbsp& ctx) {
+      std::size_t offset = 0;
+      for (int pid = 0; pid < ctx.pid(); ++pid) {
+        offset += shares[static_cast<std::size_t>(pid)];
+      }
+      const std::span<const std::int32_t> mine{
+          global.data() + offset, shares[static_cast<std::size_t>(ctx.pid())]};
+      const auto result =
+          allgather_tree<std::int32_t>(ctx, mine, n, Shares::kBalanced);
+      if (result == global) ++confirmed;
+    };
+    (void)rt::run_program(tree, kParams, program);
+    EXPECT_EQ(confirmed.load(), tree.num_processors()) << "deep=" << deep;
+  }
+}
+
+TEST(AllgatherTreeExecutor, TimingMatchesPlanner) {
+  const MachineTree tree = make_figure1_cluster();
+  const std::size_t n = 12000;
+  sim::ClusterSim sim{tree, kParams};
+  const double planned = sim.run(plan_allgather_tree(tree, n)).makespan;
+
+  const auto shares = leaf_shares(tree, n, Shares::kBalanced);
+  const rt::Program program = [&](rt::Hbsp& ctx) {
+    const std::vector<std::int32_t> mine(
+        shares[static_cast<std::size_t>(ctx.pid())], 1);
+    (void)allgather_tree<std::int32_t>(ctx, mine, n, Shares::kBalanced);
+  };
+  const double executed = rt::run_program(tree, kParams, program).makespan;
+  EXPECT_NEAR(executed, planned, 1e-9 * planned);
+}
+
+TEST(AllgatherTree, RejectsSingleProcessorMachines) {
+  MachineSpec solo;
+  solo.r = 1.0;
+  const MachineTree tree = MachineTree::build(solo, 1e-6);
+  EXPECT_THROW((void)plan_allgather_tree(tree, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hbsp::coll

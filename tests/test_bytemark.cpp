@@ -1,0 +1,117 @@
+// Tests for the BYTEmark-substitute kernels and the parameter derivation.
+
+#include <gtest/gtest.h>
+
+#include "bytemark/kernels.hpp"
+#include "bytemark/ranking.hpp"
+#include "core/topology.hpp"
+
+namespace hbsp::bytemark {
+namespace {
+
+KernelConfig fast_config() {
+  KernelConfig config;
+  config.min_iterations = 2;
+  config.min_seconds = 0.001;
+  config.numeric_sort_size = 256;
+  config.string_sort_size = 64;
+  config.bitfield_ops = 2000;
+  config.fourier_terms = 8;
+  config.lu_matrix_order = 8;
+  return config;
+}
+
+TEST(Kernels, AllProducePositiveScores) {
+  const KernelConfig config = fast_config();
+  for (const auto& result :
+       {run_numeric_sort(config), run_string_sort(config), run_bitfield(config),
+        run_fp_fourier(config), run_lu_decomposition(config)}) {
+    EXPECT_GT(result.iterations_per_second, 0.0) << result.name;
+    EXPECT_FALSE(result.name.empty());
+  }
+}
+
+TEST(Kernels, SuiteAggregatesAllFive) {
+  const SuiteResult suite = run_suite(fast_config());
+  EXPECT_EQ(suite.kernels.size(), 5u);
+  EXPECT_GT(suite.composite, 0.0);
+}
+
+TEST(Ranking, DerivedFromScores) {
+  const std::array scores{100.0, 400.0, 200.0};
+  const Ranking ranking = ranking_from_scores(scores);
+  EXPECT_EQ(ranking.rank, (std::vector<int>{2, 0, 1}));
+  EXPECT_EQ(ranking.fastest_pid(), 1);
+  EXPECT_EQ(ranking.slowest_pid(), 0);
+  EXPECT_DOUBLE_EQ(ranking.estimated_r[0], 4.0);
+  EXPECT_DOUBLE_EQ(ranking.estimated_r[1], 1.0);
+  EXPECT_DOUBLE_EQ(ranking.estimated_r[2], 2.0);
+  EXPECT_NEAR(ranking.fractions[0] + ranking.fractions[1] + ranking.fractions[2],
+              1.0, 1e-12);
+  EXPECT_NEAR(ranking.fractions[1], 4.0 / 7.0, 1e-12);
+}
+
+TEST(Ranking, TiesBreakByPid) {
+  const std::array scores{5.0, 5.0};
+  const Ranking ranking = ranking_from_scores(scores);
+  EXPECT_EQ(ranking.rank, (std::vector<int>{0, 1}));
+}
+
+TEST(Ranking, RejectsBadScores) {
+  EXPECT_THROW((void)ranking_from_scores({}), std::invalid_argument);
+  const std::array bad{1.0, 0.0};
+  EXPECT_THROW((void)ranking_from_scores(bad), std::invalid_argument);
+}
+
+TEST(SimulatedRanking, NoiselessRecoversTrueOrder) {
+  const MachineTree tree = make_paper_testbed(10);
+  const Ranking ranking = rank_simulated(tree, {.stddev = 0.0, .seed = 1});
+  EXPECT_EQ(ranking.fastest_pid(), 0);  // inventory puts r=1 first
+  EXPECT_EQ(ranking.slowest_pid(), 1);  // and r=2.5 second
+  for (int pid = 0; pid < 10; ++pid) {
+    EXPECT_NEAR(ranking.estimated_r[static_cast<std::size_t>(pid)],
+                tree.processor_r(pid), 1e-9);
+  }
+}
+
+TEST(SimulatedRanking, DeterministicPerSeed) {
+  const MachineTree tree = make_paper_testbed(5);
+  const Ranking a = rank_simulated(tree, {.stddev = 0.1, .seed = 42});
+  const Ranking b = rank_simulated(tree, {.stddev = 0.1, .seed = 42});
+  EXPECT_EQ(a.scores, b.scores);
+  const Ranking c = rank_simulated(tree, {.stddev = 0.1, .seed = 43});
+  EXPECT_NE(a.scores, c.scores);
+}
+
+TEST(SimulatedRanking, NoisePerturbsEstimates) {
+  const MachineTree tree = make_paper_testbed(10);
+  const Ranking noisy = rank_simulated(tree, {.stddev = 0.2, .seed = 7});
+  double total_error = 0.0;
+  for (int pid = 0; pid < 10; ++pid) {
+    total_error += std::abs(noisy.estimated_r[static_cast<std::size_t>(pid)] -
+                            tree.processor_r(pid));
+  }
+  EXPECT_GT(total_error, 0.01);
+}
+
+TEST(ClusterSpecFromRanking, BuildsAValidMachine) {
+  const MachineTree truth = make_paper_testbed(6);
+  const Ranking ranking = rank_simulated(truth, {.stddev = 0.1, .seed = 3});
+  const MachineSpec spec = cluster_spec_from_ranking(ranking, 2e-3);
+  const MachineTree estimated = MachineTree::build(spec, 1e-6);
+  EXPECT_EQ(estimated.num_processors(), 6);
+  // Normalisation held even under noise.
+  double min_r = 1e9;
+  for (int pid = 0; pid < 6; ++pid) {
+    min_r = std::min(min_r, estimated.processor_r(pid));
+  }
+  EXPECT_DOUBLE_EQ(min_r, 1.0);
+}
+
+TEST(ClusterSpecFromRanking, RejectsEmpty) {
+  EXPECT_THROW((void)cluster_spec_from_ranking(Ranking{}, 1e-3),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hbsp::bytemark

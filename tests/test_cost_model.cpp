@@ -1,0 +1,179 @@
+// Tests for the §3.4 cost model: h-relations, superstep pricing, schedule
+// totals, all against hand-computed values.
+
+#include "core/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/topology.hpp"
+
+namespace hbsp {
+namespace {
+
+constexpr double kG = 1e-6;
+constexpr double kL = 2e-3;
+
+MachineTree cluster() {
+  return make_hbsp1_cluster(std::array{1.0, 2.0, 4.0}, kG, kL);
+}
+
+TEST(CostModel, HRelationIsMaxOfRWeightedTraffic) {
+  const MachineTree tree = cluster();
+  const CostModel model{tree};
+  SuperstepPlan plan;
+  plan.sync_scope = tree.root();
+  // P1 (r=2) sends 100 to P0 (r=1); P2 (r=4) sends 50 to P0.
+  plan.transfers = {{1, 0, 100}, {2, 0, 50}};
+  // h_0 = 150 received (r=1 → 150); h_1 = 100 sent (r=2 → 200);
+  // h_2 = 50 sent (r=4 → 200).
+  EXPECT_DOUBLE_EQ(model.h_relation(plan), 200.0);
+}
+
+TEST(CostModel, HRelationCountsMaxOfInAndOutPerProcessor) {
+  const MachineTree tree = cluster();
+  const CostModel model{tree};
+  SuperstepPlan plan;
+  plan.sync_scope = tree.root();
+  // P0 sends 300 and receives 100: h_0 = max(300, 100)·1 = 300.
+  // P1 receives 300 and sends 100: h_1 = max(100, 300)·2 = 600.
+  plan.transfers = {{0, 1, 300}, {1, 0, 100}};
+  EXPECT_DOUBLE_EQ(model.h_relation(plan), 600.0);
+}
+
+TEST(CostModel, SelfSendsCostNothing) {
+  const MachineTree tree = cluster();
+  const CostModel model{tree};
+  SuperstepPlan plan;
+  plan.sync_scope = tree.root();
+  plan.transfers = {{2, 2, 1000000}};
+  EXPECT_DOUBLE_EQ(model.h_relation(plan), 0.0);
+}
+
+TEST(CostModel, SuperstepCostIsWPlusGhPlusL) {
+  const MachineTree tree = cluster();
+  const CostModel model{tree};
+  SuperstepPlan plan;
+  plan.sync_scope = tree.root();
+  plan.transfers = {{1, 0, 100}};
+  plan.compute = {{0, 500.0}};  // 500 ops on the fastest machine
+  const SuperstepCost cost = model.cost(plan);
+  EXPECT_DOUBLE_EQ(cost.h, 200.0);           // r_1·100
+  EXPECT_DOUBLE_EQ(cost.gh, kG * 200.0);
+  EXPECT_DOUBLE_EQ(cost.w, 500.0 * 1.0 * kG);  // seconds_per_op defaults to g
+  EXPECT_DOUBLE_EQ(cost.L, kL);
+  EXPECT_DOUBLE_EQ(cost.total(), cost.w + cost.gh + cost.L);
+}
+
+TEST(CostModel, ComputeTermTakesTheSlowestWeightedWorker) {
+  const MachineTree tree = cluster();
+  const CostModel model{tree};
+  SuperstepPlan plan;
+  plan.sync_scope = tree.root();
+  plan.compute = {{0, 1000.0}, {2, 300.0}};  // r=1·1000 vs r=4·300
+  EXPECT_DOUBLE_EQ(model.cost(plan).w, 1200.0 * kG);
+}
+
+TEST(CostModel, CustomSecondsPerOp) {
+  const MachineTree tree = cluster();
+  const CostModel model{tree, 5e-9};
+  SuperstepPlan plan;
+  plan.sync_scope = tree.root();
+  plan.compute = {{1, 100.0}};
+  EXPECT_DOUBLE_EQ(model.cost(plan).w, 100.0 * 2.0 * 5e-9);
+}
+
+TEST(CostModel, ScheduleSumsPhasesAndPhasesTakeMax) {
+  const MachineTree tree = make_figure1_cluster(kG, 10 * kL);
+  const CostModel model{tree};
+  CommSchedule schedule;
+  schedule.name = "two-cluster step";
+  // One phase: the SMP (scope child 0) and the LAN (child 2) each run a
+  // superstep concurrently; the phase costs the max of the two.
+  Phase& phase = schedule.add_phase();
+  SuperstepPlan smp;
+  smp.label = "smp";
+  smp.level = 1;
+  smp.sync_scope = tree.child(tree.root(), 0);
+  smp.transfers = {{1, 0, 100}};
+  SuperstepPlan lan;
+  lan.label = "lan";
+  lan.level = 1;
+  lan.sync_scope = tree.child(tree.root(), 2);
+  lan.transfers = {{6, 5, 100}};
+  phase.plans.push_back(smp);
+  phase.plans.push_back(lan);
+
+  const ScheduleCost cost = model.cost(schedule);
+  ASSERT_EQ(cost.phases.size(), 1u);
+  ASSERT_EQ(cost.phases[0].plans.size(), 2u);
+  const double smp_total = cost.phases[0].plans[0].total();
+  const double lan_total = cost.phases[0].plans[1].total();
+  EXPECT_DOUBLE_EQ(cost.phases[0].total(), std::max(smp_total, lan_total));
+  EXPECT_DOUBLE_EQ(cost.total(), cost.phases[0].total());
+  EXPECT_GT(lan_total, smp_total);  // LAN: slower sender and bigger barrier
+}
+
+TEST(CostModel, EmptySchedule) {
+  const MachineTree tree = cluster();
+  const CostModel model{tree};
+  EXPECT_DOUBLE_EQ(model.cost(CommSchedule{}).total(), 0.0);
+}
+
+TEST(ValidateSchedule, AcceptsPlannedShapes) {
+  const MachineTree tree = cluster();
+  CommSchedule schedule;
+  SuperstepPlan& plan = schedule.add_step("ok", 1, tree.root());
+  plan.transfers = {{0, 1, 5}};
+  EXPECT_NO_THROW(validate_schedule(tree, schedule));
+}
+
+TEST(ValidateSchedule, RejectsEscapedScope) {
+  const MachineTree tree = make_figure1_cluster();
+  CommSchedule schedule;
+  SuperstepPlan& plan =
+      schedule.add_step("bad", 1, tree.child(tree.root(), 0));  // SMP scope
+  plan.transfers = {{0, 8, 5}};  // destination in the LAN
+  EXPECT_THROW(validate_schedule(tree, schedule), std::invalid_argument);
+}
+
+TEST(ValidateSchedule, RejectsOverlappingScopesInOnePhase) {
+  const MachineTree tree = make_figure1_cluster();
+  CommSchedule schedule;
+  Phase& phase = schedule.add_phase();
+  SuperstepPlan a;
+  a.label = "whole";
+  a.level = 2;
+  a.sync_scope = tree.root();
+  SuperstepPlan b;
+  b.label = "smp";
+  b.level = 1;
+  b.sync_scope = tree.child(tree.root(), 0);
+  phase.plans.push_back(a);
+  phase.plans.push_back(b);
+  EXPECT_THROW(validate_schedule(tree, schedule), std::invalid_argument);
+}
+
+TEST(ValidateSchedule, RejectsBadPidsAndNegativeCompute) {
+  const MachineTree tree = cluster();
+  CommSchedule schedule;
+  SuperstepPlan& plan = schedule.add_step("bad pid", 1, tree.root());
+  plan.transfers = {{0, 42, 5}};
+  EXPECT_THROW(validate_schedule(tree, schedule), std::invalid_argument);
+
+  CommSchedule schedule2;
+  SuperstepPlan& plan2 = schedule2.add_step("bad ops", 1, tree.root());
+  plan2.compute = {{0, -1.0}};
+  EXPECT_THROW(validate_schedule(tree, schedule2), std::invalid_argument);
+}
+
+TEST(ScheduleAccounting, ItemAndMessageTotals) {
+  const MachineTree tree = cluster();
+  CommSchedule schedule;
+  SuperstepPlan& plan = schedule.add_step("s", 1, tree.root());
+  plan.transfers = {{0, 1, 10}, {1, 2, 20}, {2, 2, 99}};  // last is a self-send
+  EXPECT_EQ(schedule.total_items(), 30u);
+  EXPECT_EQ(schedule.total_messages(), 2u);
+}
+
+}  // namespace
+}  // namespace hbsp

@@ -1,0 +1,204 @@
+// Tests for the §6 destination-cost extension: the DestinationCosts matrix,
+// the weighted h-relation, the simulator weighting, the destination-aware
+// closed form, and the substrate calibration probe.
+
+#include "core/dest_costs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "collectives/planners.hpp"
+#include "core/analysis.hpp"
+#include "core/cost_model.hpp"
+#include "core/topology.hpp"
+#include "sim/cluster_sim.hpp"
+#include "sim/dest_calibration.hpp"
+
+namespace hbsp {
+namespace {
+
+constexpr double kG = 1e-6;
+
+TEST(DestinationCosts, UniformIsIdentity) {
+  const MachineTree tree = make_figure1_cluster();
+  const auto costs = DestinationCosts::uniform(tree);
+  EXPECT_TRUE(costs.is_uniform());
+  for (int a = 0; a < tree.num_processors(); ++a) {
+    for (int b = 0; b < tree.num_processors(); ++b) {
+      EXPECT_DOUBLE_EQ(costs.factor(a, b), 1.0);
+    }
+  }
+}
+
+TEST(DestinationCosts, ByLevelFollowsLca) {
+  const MachineTree tree = make_figure1_cluster();
+  const std::array factors{1.0, 6.0};
+  const auto costs = DestinationCosts::by_level(tree, factors);
+  EXPECT_FALSE(costs.is_uniform());
+  EXPECT_DOUBLE_EQ(costs.factor(0, 1), 1.0);  // intra-SMP
+  EXPECT_DOUBLE_EQ(costs.factor(5, 8), 1.0);  // intra-LAN
+  EXPECT_DOUBLE_EQ(costs.factor(0, 4), 6.0);  // SMP -> SGI via campus
+  EXPECT_DOUBLE_EQ(costs.factor(0, 8), 6.0);  // SMP -> LAN via campus
+  EXPECT_DOUBLE_EQ(costs.factor(8, 0), 6.0);  // symmetric here
+  EXPECT_DOUBLE_EQ(costs.factor(3, 3), 1.0);  // self
+}
+
+TEST(DestinationCosts, ByLevelValidation) {
+  const MachineTree tree = make_figure1_cluster();
+  const std::array wrong_size{1.0};
+  EXPECT_THROW((void)DestinationCosts::by_level(tree, wrong_size),
+               std::invalid_argument);
+  const std::array below_one{0.5, 2.0};
+  EXPECT_THROW((void)DestinationCosts::by_level(tree, below_one),
+               std::invalid_argument);
+  const std::array decreasing{3.0, 2.0};
+  EXPECT_THROW((void)DestinationCosts::by_level(tree, decreasing),
+               std::invalid_argument);
+}
+
+TEST(DestinationCosts, FromMatrixValidation) {
+  EXPECT_THROW((void)DestinationCosts::from_matrix({{1.0, 2.0}}),
+               std::invalid_argument);  // not square
+  EXPECT_THROW((void)DestinationCosts::from_matrix({{1.0, 0.5}, {1.0, 1.0}}),
+               std::invalid_argument);  // entry < 1
+  const auto ok = DestinationCosts::from_matrix({{1.0, 3.0}, {2.0, 1.0}});
+  EXPECT_DOUBLE_EQ(ok.factor(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(ok.factor(1, 0), 2.0);  // asymmetry allowed
+  EXPECT_THROW((void)ok.factor(0, 5), std::out_of_range);
+}
+
+TEST(CostModelExtension, UniformCostsChangeNothing) {
+  const MachineTree tree = make_figure1_cluster();
+  const auto uniform = DestinationCosts::uniform(tree);
+  CostModel base{tree};
+  CostModel extended{tree};
+  extended.set_destination_costs(&uniform);
+  const auto schedule = coll::plan_gather(tree, 10000, {});
+  EXPECT_DOUBLE_EQ(extended.cost(schedule).total(), base.cost(schedule).total());
+}
+
+TEST(CostModelExtension, WeightsCrossLevelTraffic) {
+  const MachineTree tree = make_figure1_cluster();
+  const std::array factors{1.0, 5.0};
+  const auto costs = DestinationCosts::by_level(tree, factors);
+  CostModel model{tree};
+
+  SuperstepPlan cross;
+  cross.sync_scope = tree.root();
+  cross.level = 2;
+  cross.transfers = {{0, 8, 1000}};  // SMP -> LAN, r_8 = 3.6
+  const double base_h = model.h_relation(cross);
+  model.set_destination_costs(&costs);
+  EXPECT_DOUBLE_EQ(model.h_relation(cross), 5.0 * base_h);
+
+  SuperstepPlan local;
+  local.sync_scope = tree.child(tree.root(), 0);
+  local.level = 1;
+  local.transfers = {{0, 1, 1000}};
+  model.set_destination_costs(nullptr);
+  const double local_base = model.h_relation(local);
+  model.set_destination_costs(&costs);
+  EXPECT_DOUBLE_EQ(model.h_relation(local), local_base);  // λ = 1 inside SMP
+}
+
+TEST(CostModelExtension, ClosedFormMatchesWeightedPlanner) {
+  // Agreement contract extends to §6: the destination-weighted gather closed
+  // form equals the weighted CostModel on the planner's schedule — on a flat
+  // machine where gather is a single superstep.
+  const MachineTree tree = make_paper_testbed(6);
+  const auto matrix = [&] {
+    std::vector<std::vector<double>> m(
+        6, std::vector<double>(6, 1.0));
+    // Processor 3 is behind a slow link to everyone.
+    for (int other = 0; other < 6; ++other) {
+      if (other != 3) {
+        m[3][static_cast<std::size_t>(other)] = 4.0;
+        m[static_cast<std::size_t>(other)][3] = 4.0;
+      }
+    }
+    return DestinationCosts::from_matrix(m);
+  }();
+
+  for (const auto shares : {analysis::Shares::kEqual, analysis::Shares::kBalanced}) {
+    const int root = tree.coordinator_pid(tree.root());
+    const auto schedule =
+        coll::plan_gather(tree, 9000, {.root_pid = root, .shares = shares});
+    CostModel model{tree};
+    model.set_destination_costs(&matrix);
+    const auto closed = analysis::hbsp1_gather_dest(tree, tree.root(), root,
+                                                    9000, shares, matrix);
+    EXPECT_DOUBLE_EQ(model.cost(schedule).total(), closed.total());
+  }
+}
+
+TEST(SimExtension, UniformCostsChangeNothing) {
+  const MachineTree tree = make_figure1_cluster();
+  const auto uniform = DestinationCosts::uniform(tree);
+  const auto schedule = coll::plan_gather(tree, 10000, {});
+  sim::ClusterSim base{tree, sim::SimParams{}};
+  sim::ClusterSim extended{tree, sim::SimParams{}};
+  extended.set_destination_costs(&uniform);
+  EXPECT_DOUBLE_EQ(extended.run(schedule).makespan, base.run(schedule).makespan);
+}
+
+TEST(SimExtension, ScalesSendAndReceivePerItemCosts) {
+  const MachineTree tree = make_hbsp1_cluster(std::array{1.0, 2.0}, kG, 2e-3);
+  const auto costs = DestinationCosts::from_matrix({{1.0, 3.0}, {3.0, 1.0}});
+  sim::SimParams params;
+  params.o_send = 0.0;
+  params.o_recv = 0.0;
+  params.latency_base = 0.0;
+  params.model_wire_contention = false;
+  params.recv_ratio = 0.5;
+
+  CommSchedule schedule;
+  schedule.add_step("x", 1, tree.root()).transfers = {{1, 0, 1000}};
+  sim::ClusterSim sim{tree, params};
+  sim.set_destination_costs(&costs);
+  // send: 2·3·1000·g = 6ms; drain: 0.5·1·3·1000·g = 1.5ms; + L.
+  EXPECT_NEAR(sim.run(schedule).makespan, 6e-3 + 1.5e-3 + 2e-3, 1e-12);
+}
+
+TEST(Calibration, RecoversLevelStructure) {
+  const MachineTree tree = make_figure1_cluster();
+  const auto probes = sim::probe_levels(tree, sim::SimParams{});
+  ASSERT_EQ(probes.size(), 2u);
+  EXPECT_TRUE(probes[0].measured);
+  EXPECT_TRUE(probes[1].measured);
+  EXPECT_DOUBLE_EQ(probes[0].factor, 1.0);
+  // Crossing the campus network must look clearly more expensive per item.
+  EXPECT_GT(probes[1].factor, 1.5);
+
+  const auto costs = sim::calibrate_destination_costs(tree, sim::SimParams{});
+  EXPECT_GT(costs.factor(0, 8), costs.factor(0, 1));
+}
+
+TEST(Calibration, FlatMachineIsUniform) {
+  const MachineTree tree = make_paper_testbed(4);
+  const auto costs = sim::calibrate_destination_costs(tree, sim::SimParams{});
+  EXPECT_DOUBLE_EQ(costs.factor(0, 3), 1.0);
+}
+
+TEST(Calibration, ExtendedModelPredictsCrossTrafficBetter) {
+  // The headline of the §6 extension: for a schedule with cross-campus
+  // traffic, the destination-weighted model is closer to the substrate than
+  // the base model.
+  const MachineTree tree = make_figure1_cluster();
+  const auto costs = sim::calibrate_destination_costs(tree, sim::SimParams{});
+
+  CommSchedule schedule;
+  SuperstepPlan& plan = schedule.add_step("cross", 2, tree.root());
+  plan.transfers = {{0, 8, 100000}, {1, 7, 100000}};
+
+  sim::ClusterSim sim{tree, sim::SimParams{}};
+  const double actual = sim.run(schedule).makespan;
+  CostModel model{tree};
+  const double base_prediction = model.cost(schedule).total();
+  model.set_destination_costs(&costs);
+  const double extended_prediction = model.cost(schedule).total();
+
+  EXPECT_LT(std::abs(extended_prediction - actual),
+            std::abs(base_prediction - actual));
+}
+
+}  // namespace
+}  // namespace hbsp

@@ -1,0 +1,99 @@
+// Tests for the non-dedicated-cluster load model (per-superstep log-normal
+// slowdowns, §5.1's "non-dedicated heterogeneous cluster").
+
+#include <gtest/gtest.h>
+
+#include "collectives/planners.hpp"
+#include "core/topology.hpp"
+#include "sim/cluster_sim.hpp"
+
+namespace hbsp::sim {
+namespace {
+
+double gather_makespan(const SimParams& params, std::size_t n = 25000) {
+  const MachineTree tree = make_paper_testbed(6);
+  ClusterSim sim{tree, params};
+  return sim.run(coll::plan_gather(tree, n, {})).makespan;
+}
+
+TEST(LoadModel, OffByDefault) {
+  SimParams a;
+  SimParams b;
+  b.load_seed = 999;  // seed is irrelevant while stddev == 0
+  EXPECT_DOUBLE_EQ(gather_makespan(a), gather_makespan(b));
+}
+
+TEST(LoadModel, DeterministicPerSeed) {
+  SimParams params;
+  params.load_stddev = 0.3;
+  params.load_seed = 7;
+  EXPECT_DOUBLE_EQ(gather_makespan(params), gather_makespan(params));
+}
+
+TEST(LoadModel, DifferentSeedsDiffer) {
+  SimParams a;
+  a.load_stddev = 0.3;
+  a.load_seed = 7;
+  SimParams b = a;
+  b.load_seed = 8;
+  EXPECT_NE(gather_makespan(a), gather_makespan(b));
+}
+
+TEST(LoadModel, PerturbsAroundTheUnloadedTime) {
+  const double clean = gather_makespan(SimParams{});
+  double total = 0.0;
+  constexpr int kSeeds = 24;
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    SimParams params;
+    params.load_stddev = 0.1;
+    params.load_seed = static_cast<std::uint64_t>(seed);
+    const double loaded = gather_makespan(params);
+    // Individual runs stay within a sane band at sigma = 0.1...
+    EXPECT_GT(loaded, 0.6 * clean);
+    EXPECT_LT(loaded, 1.8 * clean);
+    total += loaded;
+  }
+  // ...and the mean sits near (slightly above, max-of-lognormals) clean time.
+  const double mean = total / kSeeds;
+  EXPECT_GT(mean, 0.9 * clean);
+  EXPECT_LT(mean, 1.4 * clean);
+}
+
+TEST(LoadModel, SlowdownGrowsWithSigma) {
+  // With heavy load noise the expected makespan rises: a superstep ends when
+  // its slowest participant does, and the max of log-normals grows with
+  // sigma.
+  double mild_total = 0.0;
+  double heavy_total = 0.0;
+  for (int seed = 1; seed <= 16; ++seed) {
+    SimParams mild;
+    mild.load_stddev = 0.05;
+    mild.load_seed = static_cast<std::uint64_t>(seed);
+    SimParams heavy;
+    heavy.load_stddev = 0.6;
+    heavy.load_seed = static_cast<std::uint64_t>(seed);
+    mild_total += gather_makespan(mild);
+    heavy_total += gather_makespan(heavy);
+  }
+  EXPECT_GT(heavy_total, mild_total);
+}
+
+TEST(LoadModel, ValidatesSigma) {
+  SimParams params;
+  params.load_stddev = -0.1;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+}
+
+TEST(LoadModel, ResetReplaysTheSameLoadSequence) {
+  const MachineTree tree = make_paper_testbed(5);
+  SimParams params;
+  params.load_stddev = 0.2;
+  ClusterSim sim{tree, params};
+  const auto schedule = coll::plan_gather(tree, 10000, {});
+  const double first = sim.run(schedule).makespan;
+  const double second = sim.run(schedule).makespan;  // run() resets
+  EXPECT_DOUBLE_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace hbsp::sim

@@ -1,0 +1,201 @@
+// Property tests of the model's order-theoretic invariants — the facts §4's
+// arguments implicitly rely on, checked over randomised machines:
+//
+//  * costs are monotone in the problem size;
+//  * with the fastest processor as root, balanced shares never lose to equal
+//    shares for gather/scatter (the r_j·c_j < 1 argument);
+//  * slowing any processor never makes a schedule cheaper;
+//  * the broadcast crossover search is consistent with pointwise comparison;
+//  * the simulator is monotone in message size.
+
+#include <gtest/gtest.h>
+
+#include "collectives/planners.hpp"
+#include "core/analysis.hpp"
+#include "core/cost_model.hpp"
+#include "core/topology.hpp"
+#include "sim/cluster_sim.hpp"
+#include "util/rng.hpp"
+
+namespace hbsp {
+namespace {
+
+std::vector<double> random_speeds(util::Rng& rng, std::size_t p) {
+  std::vector<double> r;
+  for (std::size_t i = 0; i < p; ++i) r.push_back(rng.uniform(1.0, 4.0));
+  r[static_cast<std::size_t>(rng.uniform_u64(0, p - 1))] = 1.0;
+  return r;
+}
+
+class ModelProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ModelProperty, ClosedFormsMonotoneInN) {
+  util::Rng rng{GetParam() + 31};
+  const auto speeds = random_speeds(rng, 2 + GetParam() % 7);
+  const MachineTree tree = make_hbsp1_cluster(speeds);
+  const int root = tree.coordinator_pid(tree.root());
+
+  double prev_gather = -1.0;
+  double prev_two = -1.0;
+  double prev_one = -1.0;
+  for (const std::size_t n : {0u, 1u, 10u, 100u, 1000u, 10000u, 100000u}) {
+    const double gather =
+        analysis::hbsp1_gather(tree, tree.root(), root, n,
+                               analysis::Shares::kBalanced)
+            .total();
+    const double two = analysis::hbsp1_broadcast_two_phase(
+                           tree, tree.root(), root, n, analysis::Shares::kEqual)
+                           .total();
+    const double one =
+        analysis::hbsp1_broadcast_one_phase(tree, tree.root(), root, n).total();
+    EXPECT_GE(gather, prev_gather);
+    EXPECT_GE(two, prev_two);
+    EXPECT_GE(one, prev_one);
+    prev_gather = gather;
+    prev_two = two;
+    prev_one = one;
+  }
+}
+
+TEST_P(ModelProperty, BalancedNeverLosesForFastRootedGatherAndScatter) {
+  util::Rng rng{GetParam() + 97};
+  const auto speeds = random_speeds(rng, 2 + GetParam() % 8);
+  const MachineTree tree = make_hbsp1_cluster(speeds);
+  const int root = tree.coordinator_pid(tree.root());
+  const auto n = static_cast<std::size_t>(rng.uniform_u64(1, 500000));
+
+  const double gather_balanced =
+      analysis::hbsp1_gather(tree, tree.root(), root, n,
+                             analysis::Shares::kBalanced)
+          .total();
+  const double gather_equal =
+      analysis::hbsp1_gather(tree, tree.root(), root, n, analysis::Shares::kEqual)
+          .total();
+  // Integer apportionment can shift a share by one item; allow that slack.
+  const double slack = tree.g() * 4.0 * 2.0;
+  EXPECT_LE(gather_balanced, gather_equal + slack);
+
+  const double scatter_balanced =
+      analysis::hbsp1_scatter(tree, tree.root(), root, n,
+                              analysis::Shares::kBalanced)
+          .total();
+  const double scatter_equal = analysis::hbsp1_scatter(
+                                   tree, tree.root(), root, n,
+                                   analysis::Shares::kEqual)
+                                   .total();
+  EXPECT_LE(scatter_balanced, scatter_equal + slack);
+}
+
+TEST_P(ModelProperty, SlowingAProcessorNeverHelps) {
+  util::Rng rng{GetParam() + 11};
+  const std::size_t p = 3 + GetParam() % 6;
+  auto speeds = random_speeds(rng, p);
+  const MachineTree before = make_hbsp1_cluster(speeds);
+
+  // Slow one non-fastest machine further.
+  std::size_t victim = 0;
+  for (std::size_t i = 0; i < p; ++i) {
+    if (speeds[i] > 1.0) victim = i;
+  }
+  speeds[victim] += rng.uniform(0.5, 3.0);
+  const MachineTree after = make_hbsp1_cluster(speeds);
+
+  const std::size_t n = 10000;
+  // Equal shares isolate the r change (balanced shares would also shift c).
+  for (const int root_ordinal : {0, 1}) {
+    const int before_root = root_ordinal == 0
+                                ? before.coordinator_pid(before.root())
+                                : before.slowest_pid(before.root());
+    const int after_root = root_ordinal == 0
+                               ? after.coordinator_pid(after.root())
+                               : after.slowest_pid(after.root());
+    EXPECT_GE(analysis::hbsp1_gather(after, after.root(), after_root, n,
+                                     analysis::Shares::kEqual)
+                  .total(),
+              analysis::hbsp1_gather(before, before.root(), before_root, n,
+                                     analysis::Shares::kEqual)
+                  .total() -
+                  1e-12);
+  }
+}
+
+TEST_P(ModelProperty, CrossoverSearchConsistentWithPointwiseComparison) {
+  util::Rng rng{GetParam() + 211};
+  const auto speeds = random_speeds(rng, 4 + GetParam() % 6);
+  const MachineTree tree = make_hbsp1_cluster(speeds);
+  const int root = tree.coordinator_pid(tree.root());
+  constexpr std::size_t kMax = 1 << 20;
+  const auto crossover = analysis::broadcast_crossover_n(tree, tree.root(),
+                                                         root, kMax);
+
+  const auto two_wins = [&](std::size_t n) {
+    return analysis::hbsp1_broadcast_two_phase(tree, tree.root(), root, n,
+                                               analysis::Shares::kEqual)
+               .total() <=
+           analysis::hbsp1_broadcast_one_phase(tree, tree.root(), root, n)
+               .total();
+  };
+  if (crossover) {
+    EXPECT_TRUE(two_wins(*crossover));
+    if (*crossover > 1) {
+      EXPECT_FALSE(two_wins(*crossover - 1));
+    }
+    EXPECT_TRUE(two_wins(kMax));
+  } else {
+    EXPECT_FALSE(two_wins(kMax));
+  }
+}
+
+TEST_P(ModelProperty, SimulatorMonotoneInMessageSize) {
+  util::Rng rng{GetParam() + 401};
+  const auto speeds = random_speeds(rng, 3 + GetParam() % 5);
+  const MachineTree tree = make_hbsp1_cluster(speeds);
+  sim::ClusterSim sim{tree, sim::SimParams{}};
+
+  double prev = -1.0;
+  for (const std::size_t items : {0u, 10u, 1000u, 100000u}) {
+    CommSchedule schedule;
+    schedule.add_step("one", 1, tree.root()).transfers = {
+        {1, 0, items}};
+    const double makespan = sim.run(schedule).makespan;
+    EXPECT_GE(makespan, prev);
+    prev = makespan;
+  }
+}
+
+TEST_P(ModelProperty, PhaseMaxNeverExceedsSumOfPlans) {
+  // Sanity on the PhaseCost algebra with random concurrent plans.
+  util::Rng rng{GetParam() + 733};
+  const MachineTree tree = make_figure1_cluster();
+  const CostModel model{tree};
+  CommSchedule schedule;
+  Phase& phase = schedule.add_phase();
+  SuperstepPlan smp;
+  smp.label = "smp";
+  smp.level = 1;
+  smp.sync_scope = tree.child(tree.root(), 0);
+  smp.transfers = {{1, 0, static_cast<std::size_t>(rng.uniform_u64(0, 9999))}};
+  SuperstepPlan lan;
+  lan.label = "lan";
+  lan.level = 1;
+  lan.sync_scope = tree.child(tree.root(), 2);
+  lan.transfers = {{6, 5, static_cast<std::size_t>(rng.uniform_u64(0, 9999))}};
+  phase.plans.push_back(smp);
+  phase.plans.push_back(lan);
+
+  const auto cost = model.cost(schedule);
+  double sum = 0.0;
+  double worst = 0.0;
+  for (const auto& plan_cost : cost.phases[0].plans) {
+    sum += plan_cost.total();
+    worst = std::max(worst, plan_cost.total());
+  }
+  EXPECT_DOUBLE_EQ(cost.phases[0].total(), worst);
+  EXPECT_LE(cost.phases[0].total(), sum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelProperty,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace hbsp

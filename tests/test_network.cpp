@@ -1,0 +1,115 @@
+// Tests for the hierarchical network model: message routing across the
+// tree, per-level latency and wire rates, and network statistics.
+
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/topology.hpp"
+
+namespace hbsp::sim {
+namespace {
+
+std::vector<std::string> route_names(const MachineTree& tree, int src,
+                                     int dst) {
+  const SimParams params;
+  const Network network{tree, params};
+  std::vector<MachineId> route;
+  network.route(src, dst, route);
+  std::vector<std::string> names;
+  for (const MachineId id : route) names.push_back(tree.node(id).name);
+  return names;
+}
+
+TEST(NetworkRoute, IntraClusterCrossesOnlyThatNetwork) {
+  const MachineTree tree = make_figure1_cluster();
+  EXPECT_EQ(route_names(tree, 0, 1), (std::vector<std::string>{"smp"}));
+  EXPECT_EQ(route_names(tree, 5, 8), (std::vector<std::string>{"lan"}));
+}
+
+TEST(NetworkRoute, CrossClusterCrossesBothEndNetworksAndTheBackbone) {
+  const MachineTree tree = make_figure1_cluster();
+  EXPECT_EQ(route_names(tree, 0, 8),
+            (std::vector<std::string>{"smp", "campus", "lan"}));
+  // The SGI hangs directly off the campus network: one hop fewer.
+  EXPECT_EQ(route_names(tree, 4, 0),
+            (std::vector<std::string>{"campus", "smp"}));
+  EXPECT_EQ(route_names(tree, 0, 4),
+            (std::vector<std::string>{"smp", "campus"}));
+}
+
+TEST(NetworkRoute, SelfRouteIsEmpty) {
+  const MachineTree tree = make_figure1_cluster();
+  EXPECT_TRUE(route_names(tree, 3, 3).empty());
+}
+
+TEST(NetworkRoute, ThreeLevelRoute) {
+  const MachineTree tree = make_wide_area_grid();
+  // a-lab0 ws (pid 0) to b-lab1 ws: up through a-lab0, campus-a, wide-area,
+  // down through campus-b, b-lab1.
+  const auto [bf, bl] =
+      tree.processor_range(tree.child(tree.child(tree.root(), 1), 1));
+  // Source-side networks come first (leaf upward to the LCA), then the
+  // destination side's, also leaf upward; the *set* of crossed networks is
+  // what the simulator charges.
+  const auto names = route_names(tree, 0, bf);
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], "a-lab0");
+  EXPECT_EQ(names[1], "campus-a");
+  EXPECT_EQ(names[2], "wide-area");
+  EXPECT_EQ(names[3], "b-lab1");
+  EXPECT_EQ(names[4], "campus-b");
+  (void)bl;
+}
+
+TEST(NetworkLatency, ScalesByLevel) {
+  const MachineTree tree = make_wide_area_grid();
+  SimParams params;
+  params.latency_base = 2e-4;
+  params.latency_level_scale = 10.0;
+  const Network network{tree, params};
+  EXPECT_DOUBLE_EQ(network.latency(1), 2e-4);
+  EXPECT_DOUBLE_EQ(network.latency(2), 2e-3);
+  EXPECT_DOUBLE_EQ(network.latency(3), 2e-2);
+}
+
+TEST(NetworkWire, RateScalesByLevelAndCanBeDisabled) {
+  const MachineTree tree = make_wide_area_grid();
+  SimParams params;
+  params.wire_factor_base = 0.5;
+  params.wire_level_scale = 4.0;
+  {
+    const Network network{tree, params};
+    EXPECT_DOUBLE_EQ(network.wire_per_item(1), tree.g() * 0.5);
+    EXPECT_DOUBLE_EQ(network.wire_per_item(2), tree.g() * 2.0);
+    EXPECT_DOUBLE_EQ(network.wire_per_item(3), tree.g() * 8.0);
+  }
+  params.model_wire_contention = false;
+  {
+    const Network network{tree, params};
+    EXPECT_DOUBLE_EQ(network.wire_per_item(2), 0.0);
+  }
+}
+
+TEST(NetworkStats, AccumulateAndReset) {
+  const MachineTree tree = make_figure1_cluster();
+  const SimParams params;
+  Network network{tree, params};
+  auto& campus = network.stats(tree.root());
+  campus.items_crossed += 100;
+  campus.messages_crossed += 2;
+  EXPECT_EQ(network.stats(tree.root()).items_crossed, 100u);
+  network.reset();
+  EXPECT_EQ(network.stats(tree.root()).items_crossed, 0u);
+  EXPECT_EQ(network.stats(tree.root()).messages_crossed, 0u);
+}
+
+TEST(NetworkStats, BadIdThrows) {
+  const MachineTree tree = make_figure1_cluster();
+  const SimParams params;
+  const Network network{tree, params};
+  EXPECT_THROW((void)network.stats(MachineId{9, 0}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace hbsp::sim

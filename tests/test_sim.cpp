@@ -1,0 +1,275 @@
+// Tests for the discrete-event cluster simulator: each cost mechanism is
+// checked against hand-computed timelines, plus determinism and statistics.
+
+#include "sim/cluster_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/topology.hpp"
+
+namespace hbsp::sim {
+namespace {
+
+constexpr double kG = 1e-6;
+constexpr double kL = 2e-3;
+
+/// A parameter set with every artefact switched off except what a test
+/// enables, so timelines stay hand-computable.
+SimParams bare_params() {
+  SimParams p;
+  p.recv_ratio = 0.5;
+  p.o_send = 0.0;
+  p.o_recv = 0.0;
+  p.model_wire_contention = false;
+  p.latency_base = 0.0;
+  return p;
+}
+
+MachineTree cluster() {
+  return make_hbsp1_cluster(std::array{1.0, 2.0, 4.0}, kG, kL);
+}
+
+CommSchedule single_step(const MachineTree& tree,
+                         std::vector<Transfer> transfers,
+                         std::vector<ComputeWork> compute = {}) {
+  CommSchedule schedule;
+  SuperstepPlan& plan = schedule.add_step("step", 1, tree.root());
+  plan.transfers = std::move(transfers);
+  plan.compute = std::move(compute);
+  return schedule;
+}
+
+TEST(ClusterSim, SingleMessageTimeline) {
+  const MachineTree tree = cluster();
+  ClusterSim sim{tree, bare_params()};
+  // P1 (r=2) sends 1000 items to P0 (r=1): send busy 2·1000·g = 2ms;
+  // receive busy 0.5·1·1000·g = 0.5ms; barrier exit = 2.5ms + L.
+  const SimResult result = sim.run(single_step(tree, {{1, 0, 1000}}));
+  EXPECT_NEAR(result.makespan, 2e-3 + 0.5e-3 + kL, 1e-12);
+}
+
+TEST(ClusterSim, PerMessageOverheadsScaleWithR) {
+  const MachineTree tree = cluster();
+  SimParams params = bare_params();
+  params.o_send = 1e-4;
+  params.o_recv = 2e-4;
+  ClusterSim sim{tree, params};
+  // P2 (r=4) sends 0-cost... 1 item to P0 (r=1): send 4·(1e-4 + g);
+  // recv 1·(2e-4 + 0.5g).
+  const SimResult result = sim.run(single_step(tree, {{2, 0, 1}}));
+  EXPECT_NEAR(result.makespan, 4 * (1e-4 + kG) + (2e-4 + 0.5 * kG) + kL, 1e-12);
+}
+
+TEST(ClusterSim, LatencyDelaysArrivalButNotSender) {
+  const MachineTree tree = cluster();
+  SimParams params = bare_params();
+  params.latency_base = 5e-3;
+  ClusterSim sim{tree, params};
+  const SimResult result = sim.run(single_step(tree, {{1, 0, 1000}}));
+  // Arrival at 2ms + 5ms; drain 0.5ms after that.
+  EXPECT_NEAR(result.makespan, 2e-3 + 5e-3 + 0.5e-3 + kL, 1e-12);
+}
+
+TEST(ClusterSim, SendsSerialisePerSenderInIssueOrder) {
+  const MachineTree tree = cluster();
+  ClusterSim sim{tree, bare_params()};
+  // P0 sends 1000 to P1 then 1000 to P2. Second send starts after the first:
+  // send end times 1ms and 2ms. P2's drain: 0.5·4·1000g = 2ms → ends 4ms.
+  const SimResult result =
+      sim.run(single_step(tree, {{0, 1, 1000}, {0, 2, 1000}}));
+  EXPECT_NEAR(result.makespan, 2e-3 + 2e-3 + kL, 1e-12);
+}
+
+TEST(ClusterSim, ReceiverDrainsArrivalsInOrder) {
+  const MachineTree tree = cluster();
+  ClusterSim sim{tree, bare_params()};
+  // P1 (send ends 2ms) and P2 (send ends 4ms) both send 1000 to P0.
+  // P0 drains: first at [2, 2.5], second at [4, 4.5].
+  const SimResult result =
+      sim.run(single_step(tree, {{1, 0, 1000}, {2, 0, 1000}}));
+  EXPECT_NEAR(result.makespan, 4e-3 + 0.5e-3 + kL, 1e-12);
+}
+
+TEST(ClusterSim, ReceiverQueuesWhenArrivalsCluster) {
+  const MachineTree tree =
+      make_hbsp1_cluster(std::array{1.0, 1.0, 1.0, 1.0}, kG, kL);
+  ClusterSim sim{tree, bare_params()};
+  // Three senders finish at 1ms each; P0 drains 3 × 0.5ms sequentially.
+  const SimResult result = sim.run(
+      single_step(tree, {{1, 0, 1000}, {2, 0, 1000}, {3, 0, 1000}}));
+  EXPECT_NEAR(result.makespan, 1e-3 + 3 * 0.5e-3 + kL, 1e-12);
+}
+
+TEST(ClusterSim, ComputeChargesAtComputeRate) {
+  const MachineTree tree = cluster();
+  ClusterSim sim{tree, bare_params()};
+  // 1000 ops on P2 (compute_r = 4) at g seconds/op → 4ms; no comm.
+  const SimResult result = sim.run(single_step(tree, {}, {{2, 1000.0}}));
+  EXPECT_NEAR(result.makespan, 4e-3 + kL, 1e-12);
+}
+
+TEST(ClusterSim, SelfSendsAreFree) {
+  const MachineTree tree = cluster();
+  ClusterSim sim{tree, bare_params()};
+  const SimResult result = sim.run(single_step(tree, {{2, 2, 1000000}}));
+  EXPECT_NEAR(result.makespan, kL, 1e-12);
+}
+
+TEST(ClusterSim, WireContentionBoundsThePhase) {
+  const MachineTree tree = cluster();
+  SimParams params = bare_params();
+  params.model_wire_contention = true;
+  params.wire_factor_base = 10.0;  // exaggerate so the wire clearly binds
+  ClusterSim sim{tree, params};
+  // Endpoint work: send 2ms + drain 0.5ms = 2.5ms; wire: 1000·10·g = 10ms.
+  const SimResult result = sim.run(single_step(tree, {{1, 0, 1000}}));
+  EXPECT_NEAR(result.makespan, 10e-3 + kL, 1e-12);
+}
+
+TEST(ClusterSim, BarrierCostUsesScopeL) {
+  const MachineTree tree = make_figure1_cluster(kG, 0.05);
+  ClusterSim sim{tree, bare_params()};
+  CommSchedule schedule;
+  schedule.add_step("root barrier", 2, tree.root());
+  const SimResult result = sim.run(schedule);
+  EXPECT_NEAR(result.makespan, 0.05, 1e-12);
+}
+
+TEST(ClusterSim, ConcurrentScopesAdvanceIndependently) {
+  const MachineTree tree = make_figure1_cluster(kG, 0.05);
+  ClusterSim sim{tree, bare_params()};
+  CommSchedule schedule;
+  Phase& phase = schedule.add_phase();
+  SuperstepPlan smp;
+  smp.label = "smp";
+  smp.level = 1;
+  smp.sync_scope = tree.child(tree.root(), 0);  // L = kDefaultL1/20
+  smp.transfers = {{1, 0, 1000}};
+  SuperstepPlan lan;
+  lan.label = "lan";
+  lan.level = 1;
+  lan.sync_scope = tree.child(tree.root(), 2);  // L = kDefaultL1
+  lan.transfers = {{6, 5, 1000}};               // r=2.2 sender, r=1.6 receiver
+  phase.plans.push_back(smp);
+  phase.plans.push_back(lan);
+  const SimResult result = sim.run(schedule);
+
+  ASSERT_EQ(result.plan_timings.size(), 1u);
+  ASSERT_EQ(result.plan_timings[0].size(), 2u);
+  const double smp_exit = result.plan_timings[0][0].barrier_exit;
+  const double lan_exit = result.plan_timings[0][1].barrier_exit;
+  EXPECT_NEAR(smp_exit, 1e-3 + 0.5e-3 + kDefaultL1 / 20, 1e-12);
+  EXPECT_NEAR(lan_exit, 2.2e-3 + 0.5 * 1.6e-3 + kDefaultL1, 1e-12);
+  // The SGI (pid 4) took part in neither plan and sits at time 0.
+  EXPECT_DOUBLE_EQ(sim.now(4), 0.0);
+  EXPECT_DOUBLE_EQ(result.makespan, std::max(smp_exit, lan_exit));
+}
+
+TEST(ClusterSim, PhasesChainClockForward) {
+  const MachineTree tree = cluster();
+  ClusterSim sim{tree, bare_params()};
+  CommSchedule schedule;
+  schedule.add_step("first", 1, tree.root()).transfers = {{1, 0, 1000}};
+  schedule.add_step("second", 1, tree.root()).transfers = {{1, 0, 1000}};
+  const SimResult result = sim.run(schedule);
+  ASSERT_EQ(result.phase_completion.size(), 2u);
+  EXPECT_NEAR(result.phase_completion[0], 2.5e-3 + kL, 1e-12);
+  EXPECT_NEAR(result.phase_completion[1], 2 * (2.5e-3 + kL), 1e-12);
+}
+
+TEST(ClusterSim, DeterministicAcrossRuns) {
+  const MachineTree tree = make_paper_testbed(10);
+  SimParams params;  // full default mechanics
+  ClusterSim a{tree, params};
+  ClusterSim b{tree, params};
+  CommSchedule schedule;
+  SuperstepPlan& plan = schedule.add_step("mix", 1, tree.root());
+  for (int pid = 1; pid < 10; ++pid) {
+    plan.transfers.push_back({pid, 0, static_cast<std::size_t>(100 * pid)});
+  }
+  EXPECT_DOUBLE_EQ(a.run(schedule).makespan, b.run(schedule).makespan);
+}
+
+TEST(ClusterSim, ResetRestoresTimeZero) {
+  const MachineTree tree = cluster();
+  ClusterSim sim{tree, bare_params()};
+  (void)sim.run(single_step(tree, {{1, 0, 1000}}));
+  EXPECT_GT(sim.makespan(), 0.0);
+  sim.reset();
+  EXPECT_DOUBLE_EQ(sim.makespan(), 0.0);
+  for (int pid = 0; pid < 3; ++pid) EXPECT_DOUBLE_EQ(sim.now(pid), 0.0);
+}
+
+TEST(ClusterSim, StatsAccumulate) {
+  const MachineTree tree = cluster();
+  ClusterSim sim{tree, bare_params()};
+  (void)sim.run(single_step(tree, {{1, 0, 1000}, {2, 0, 500}}));
+  const Trace& trace = sim.trace();
+  EXPECT_EQ(trace.pid_stats(1).messages_sent, 1u);
+  EXPECT_EQ(trace.pid_stats(1).items_sent, 1000u);
+  EXPECT_EQ(trace.pid_stats(0).messages_received, 2u);
+  EXPECT_EQ(trace.pid_stats(0).items_received, 1500u);
+  EXPECT_GT(trace.pid_stats(0).recv_seconds, 0.0);
+  EXPECT_GT(trace.pid_stats(2).send_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(trace.pid_stats(0).send_seconds, 0.0);
+}
+
+TEST(ClusterSim, EventTraceRecordsLifecycle) {
+  const MachineTree tree = cluster();
+  ClusterSim sim{tree, bare_params(), /*record_events=*/true};
+  (void)sim.run(single_step(tree, {{1, 0, 1000}}));
+  const auto& events = sim.trace().events();
+  ASSERT_FALSE(events.empty());
+  int sends = 0, recvs = 0, barriers = 0;
+  for (const auto& e : events) {
+    if (e.kind == EventKind::kSendEnd) ++sends;
+    if (e.kind == EventKind::kRecvEnd) ++recvs;
+    if (e.kind == EventKind::kBarrierExit) ++barriers;
+  }
+  EXPECT_EQ(sends, 1);
+  EXPECT_EQ(recvs, 1);
+  EXPECT_EQ(barriers, 3);  // one per processor in scope
+}
+
+TEST(ClusterSim, NetworkStatsCountCrossings) {
+  const MachineTree tree = make_figure1_cluster();
+  ClusterSim sim{tree, bare_params()};
+  CommSchedule schedule;
+  SuperstepPlan& plan = schedule.add_step("cross", 2, tree.root());
+  plan.transfers = {{0, 8, 100}};  // SMP cpu -> LAN ws: smp, campus, lan nets
+  (void)sim.run(schedule);
+  EXPECT_EQ(sim.network().stats(tree.child(tree.root(), 0)).items_crossed, 100u);
+  EXPECT_EQ(sim.network().stats(tree.root()).items_crossed, 100u);
+  EXPECT_EQ(sim.network().stats(tree.child(tree.root(), 2)).items_crossed, 100u);
+  EXPECT_EQ(sim.network().stats(tree.child(tree.root(), 1)).items_crossed, 0u);
+}
+
+TEST(ClusterSim, HigherLevelLatencyScales) {
+  const MachineTree tree = make_figure1_cluster();
+  SimParams params = bare_params();
+  params.latency_base = 1e-3;
+  params.latency_level_scale = 10.0;
+  Network network{tree, params};
+  EXPECT_DOUBLE_EQ(network.latency(1), 1e-3);
+  EXPECT_DOUBLE_EQ(network.latency(2), 1e-2);
+  EXPECT_DOUBLE_EQ(network.latency(0), 0.0);
+}
+
+TEST(SimParams, ValidateRejectsBadValues) {
+  SimParams p;
+  p.recv_ratio = -0.1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = SimParams{};
+  p.o_send = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = SimParams{};
+  p.wire_level_scale = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = SimParams{};
+  p.latency_base = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(SimParams{}.validate());
+}
+
+}  // namespace
+}  // namespace hbsp::sim

@@ -1,0 +1,102 @@
+// Unit tests for the statistics helpers.
+
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace hbsp::util {
+namespace {
+
+TEST(Summarize, Basics) {
+  const std::vector<double> sample{1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(sample);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Summarize, Empty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, SingleValue) {
+  const std::vector<double> sample{7.5};
+  const Summary s = summarize(sample);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 7.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Mean, MatchesSummary) {
+  const std::vector<double> sample{2.0, 4.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(sample), 5.0);
+}
+
+TEST(GeometricMean, PowersOfTwo) {
+  const std::vector<double> sample{2.0, 8.0};
+  EXPECT_NEAR(geometric_mean(sample), 4.0, 1e-12);
+}
+
+TEST(GeometricMean, Empty) { EXPECT_EQ(geometric_mean({}), 0.0); }
+
+TEST(Median, OddAndEven) {
+  const std::vector<double> odd{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  const std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Quantile, Interpolates) {
+  const std::vector<double> sample{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(sample, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(sample, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(sample, 0.25), 2.5);
+}
+
+TEST(Quantile, Empty) { EXPECT_EQ(quantile({}, 0.5), 0.0); }
+
+TEST(Ci95, ZeroForTinySamples) {
+  Summary s;
+  s.count = 1;
+  s.stddev = 5.0;
+  EXPECT_EQ(ci95_halfwidth(s), 0.0);
+}
+
+TEST(Ci95, ShrinksWithSampleSize) {
+  Summary small;
+  small.count = 10;
+  small.stddev = 2.0;
+  Summary large = small;
+  large.count = 1000;
+  EXPECT_GT(ci95_halfwidth(small), ci95_halfwidth(large));
+}
+
+TEST(Accumulator, MatchesBatchSummary) {
+  const std::vector<double> sample{5.0, -2.0, 7.25, 0.0, 3.5, 3.5};
+  Accumulator acc;
+  for (const double v : sample) acc.add(v);
+  const Summary streaming = acc.summary();
+  const Summary batch = summarize(sample);
+  EXPECT_EQ(streaming.count, batch.count);
+  EXPECT_DOUBLE_EQ(streaming.min, batch.min);
+  EXPECT_DOUBLE_EQ(streaming.max, batch.max);
+  EXPECT_NEAR(streaming.mean, batch.mean, 1e-12);
+  EXPECT_NEAR(streaming.stddev, batch.stddev, 1e-12);
+}
+
+TEST(Accumulator, EmptySummaryIsZeroed) {
+  const Summary s = Accumulator{}.summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+}  // namespace
+}  // namespace hbsp::util

@@ -1,0 +1,65 @@
+// Keeps the shipped topology files (topologies/*.txt) loadable and
+// equivalent to the programmatic presets they document.
+
+#include <gtest/gtest.h>
+
+#include "core/topology.hpp"
+#include "core/topology_io.hpp"
+
+namespace hbsp {
+namespace {
+
+// CMake passes the source directory so the test runs from any build dir.
+#ifndef HBSPK_SOURCE_DIR
+#define HBSPK_SOURCE_DIR "."
+#endif
+
+std::string topology_path(const char* name) {
+  return std::string{HBSPK_SOURCE_DIR} + "/topologies/" + name;
+}
+
+TEST(TopologyFiles, Testbed10MatchesPreset) {
+  const MachineTree file = load_topology(topology_path("testbed10.txt"));
+  const MachineTree preset = make_paper_testbed(10);
+  ASSERT_EQ(file.num_processors(), preset.num_processors());
+  EXPECT_EQ(file.height(), preset.height());
+  for (int pid = 0; pid < 10; ++pid) {
+    EXPECT_DOUBLE_EQ(file.processor_r(pid), preset.processor_r(pid)) << pid;
+  }
+  EXPECT_DOUBLE_EQ(file.g(), preset.g());
+  EXPECT_DOUBLE_EQ(file.sync_L(file.root()), preset.sync_L(preset.root()));
+}
+
+TEST(TopologyFiles, Figure1MatchesPreset) {
+  const MachineTree file = load_topology(topology_path("figure1_campus.txt"));
+  const MachineTree preset = make_figure1_cluster();
+  ASSERT_EQ(file.num_processors(), preset.num_processors());
+  EXPECT_EQ(file.height(), preset.height());
+  for (int pid = 0; pid < preset.num_processors(); ++pid) {
+    EXPECT_DOUBLE_EQ(file.processor_r(pid), preset.processor_r(pid)) << pid;
+  }
+  EXPECT_EQ(file.coordinator_pid(file.root()),
+            preset.coordinator_pid(preset.root()));
+}
+
+TEST(TopologyFiles, WideAreaGridMatchesPreset) {
+  const MachineTree file = load_topology(topology_path("wide_area_grid.txt"));
+  const MachineTree preset = make_wide_area_grid();
+  ASSERT_EQ(file.num_processors(), preset.num_processors());
+  EXPECT_EQ(file.height(), 3);
+  for (int pid = 0; pid < preset.num_processors(); ++pid) {
+    EXPECT_DOUBLE_EQ(file.processor_r(pid), preset.processor_r(pid)) << pid;
+  }
+}
+
+TEST(TopologyFiles, AllRoundTripThroughSerialisation) {
+  for (const char* name :
+       {"testbed10.txt", "figure1_campus.txt", "wide_area_grid.txt"}) {
+    const MachineTree file = load_topology(topology_path(name));
+    const MachineTree reparsed = parse_topology(serialize_topology(file));
+    EXPECT_EQ(serialize_topology(reparsed), serialize_topology(file)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace hbsp

@@ -1,0 +1,157 @@
+// Tests for the topology text format: parsing, validation errors, and
+// round-trip fidelity (including over random trees).
+
+#include "core/topology_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/topology.hpp"
+
+namespace hbsp {
+namespace {
+
+constexpr const char* kFlatCluster = R"(
+# a three-machine cluster
+g 1e-6
+machine cluster L=2e-3 {
+  machine fast r=1
+  machine mid r=1.5
+  machine slow r=3 cr=2.5
+}
+)";
+
+TEST(TopologyIo, ParsesFlatCluster) {
+  const MachineTree tree = parse_topology(kFlatCluster);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_EQ(tree.num_processors(), 3);
+  EXPECT_DOUBLE_EQ(tree.g(), 1e-6);
+  EXPECT_DOUBLE_EQ(tree.sync_L(tree.root()), 2e-3);
+  EXPECT_DOUBLE_EQ(tree.processor_r(2), 3.0);
+  EXPECT_DOUBLE_EQ(tree.processor_compute_r(2), 2.5);
+  EXPECT_EQ(tree.node(tree.processor(0)).name, "fast");
+}
+
+TEST(TopologyIo, ParsesNestedClusters) {
+  const MachineTree tree = parse_topology(R"(
+g 2e-6
+machine campus L=0.02 {
+  machine smp L=1e-4 {
+    machine c0 r=1
+    machine c1 r=1
+  }
+  machine sgi r=1.4
+  machine lan L=2e-3 {
+    machine w0 r=2
+    machine w1 r=3
+  }
+}
+)");
+  EXPECT_EQ(tree.height(), 2);
+  EXPECT_EQ(tree.num_processors(), 5);
+  EXPECT_TRUE(tree.is_processor(tree.child(tree.root(), 1)));
+}
+
+TEST(TopologyIo, ParsesExplicitShares) {
+  const MachineTree tree = parse_topology(R"(
+g 1e-6
+machine cluster {
+  machine a r=1 c=0.7
+  machine b r=2 c=0.3
+}
+)");
+  EXPECT_DOUBLE_EQ(tree.c(tree.processor(0)), 0.7);
+  EXPECT_DOUBLE_EQ(tree.c(tree.processor(1)), 0.3);
+}
+
+TEST(TopologyIo, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_topology("g 1e-6\nmachine a r=1\nmachine b r=2\n");
+    FAIL() << "expected parse failure (two top-level machines)";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string{e.what()}.find("line 3"), std::string::npos);
+  }
+}
+
+TEST(TopologyIo, RejectsMissingG) {
+  EXPECT_THROW((void)parse_topology("machine a r=1\n"), std::invalid_argument);
+}
+
+TEST(TopologyIo, RejectsMissingMachine) {
+  EXPECT_THROW((void)parse_topology("g 1e-6\n"), std::invalid_argument);
+}
+
+TEST(TopologyIo, RejectsDuplicateG) {
+  EXPECT_THROW((void)parse_topology("g 1\ng 2\nmachine a r=1\n"),
+               std::invalid_argument);
+}
+
+TEST(TopologyIo, RejectsUnknownAttribute) {
+  EXPECT_THROW((void)parse_topology("g 1\nmachine a r=1 bogus=2\n"),
+               std::invalid_argument);
+}
+
+TEST(TopologyIo, RejectsMalformedNumber) {
+  EXPECT_THROW((void)parse_topology("g 1\nmachine a r=fast\n"),
+               std::invalid_argument);
+}
+
+TEST(TopologyIo, RejectsUnterminatedBrace) {
+  EXPECT_THROW((void)parse_topology("g 1\nmachine a {\n machine b r=1\n"),
+               std::invalid_argument);
+}
+
+TEST(TopologyIo, CommentsAndBlankLinesIgnored) {
+  const MachineTree tree = parse_topology(
+      "# header\n\ng 1e-6 # trailing\n\nmachine solo r=1 # leaf\n");
+  EXPECT_EQ(tree.num_processors(), 1);
+}
+
+TEST(TopologyIo, RoundTripsFlatCluster) {
+  const MachineTree original = parse_topology(kFlatCluster);
+  const MachineTree reparsed = parse_topology(serialize_topology(original));
+  EXPECT_EQ(serialize_topology(original), serialize_topology(reparsed));
+}
+
+TEST(TopologyIo, LoadTopologyReadsFiles) {
+  const std::string path = testing::TempDir() + "hbspk_topo_test.txt";
+  {
+    std::ofstream out{path};
+    out << kFlatCluster;
+  }
+  const MachineTree tree = load_topology(path);
+  EXPECT_EQ(tree.num_processors(), 3);
+  std::remove(path.c_str());
+}
+
+TEST(TopologyIo, LoadTopologyMissingFileThrows) {
+  EXPECT_THROW((void)load_topology("/nonexistent/nope.txt"), std::runtime_error);
+}
+
+class RoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundTripProperty, SerializeParseIsIdentity) {
+  RandomTreeOptions options;
+  options.levels = 1 + static_cast<int>(GetParam() % 3);
+  const MachineTree original = make_random_tree(options, GetParam() + 1000);
+  const std::string text = serialize_topology(original);
+  const MachineTree reparsed = parse_topology(text);
+
+  ASSERT_EQ(reparsed.num_processors(), original.num_processors());
+  ASSERT_EQ(reparsed.height(), original.height());
+  EXPECT_DOUBLE_EQ(reparsed.g(), original.g());
+  for (int pid = 0; pid < original.num_processors(); ++pid) {
+    EXPECT_DOUBLE_EQ(reparsed.processor_r(pid), original.processor_r(pid));
+    EXPECT_DOUBLE_EQ(reparsed.global_c(reparsed.processor(pid)),
+                     original.global_c(original.processor(pid)));
+  }
+  EXPECT_EQ(serialize_topology(reparsed), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripProperty,
+                         ::testing::Range<std::uint64_t>(0, 16));
+
+}  // namespace
+}  // namespace hbsp

@@ -1,0 +1,105 @@
+// Tests for the Chrome-tracing export of simulator traces.
+
+#include "sim/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "collectives/planners.hpp"
+#include "core/topology.hpp"
+#include "sim/cluster_sim.hpp"
+
+namespace hbsp::sim {
+namespace {
+
+Trace recorded_trace() {
+  const MachineTree tree = make_paper_testbed(3);
+  ClusterSim sim{tree, SimParams{}, /*record_events=*/true};
+  (void)sim.run(coll::plan_gather(tree, 1000, {}));
+  return sim.trace();
+}
+
+std::size_t count_occurrences(const std::string& text, const std::string& what) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(what); pos != std::string::npos;
+       pos = text.find(what, pos + what.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(TraceExport, EmitsBalancedBeginEndPairs) {
+  const Trace trace = recorded_trace();
+  std::ostringstream out;
+  export_chrome_trace(trace, out);
+  const std::string json = out.str();
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"B\""),
+            count_occurrences(json, "\"ph\":\"E\""));
+  EXPECT_GT(count_occurrences(json, "\"ph\":\"B\""), 0u);
+}
+
+TEST(TraceExport, NamesEveryProcessorTrack) {
+  const Trace trace = recorded_trace();
+  std::ostringstream out;
+  export_chrome_trace(trace, out);
+  const std::string json = out.str();
+  for (std::size_t pid = 0; pid < trace.num_pids(); ++pid) {
+    EXPECT_NE(json.find("\"name\":\"P" + std::to_string(pid) + "\""),
+              std::string::npos);
+  }
+}
+
+TEST(TraceExport, ContainsSendRecvAndBarrierEvents) {
+  const Trace trace = recorded_trace();
+  std::ostringstream out;
+  export_chrome_trace(trace, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"name\":\"send P0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"recv"), std::string::npos);
+  EXPECT_NE(json.find("barrier-exit"), std::string::npos);
+  // Superstep labels travel into args.
+  EXPECT_NE(json.find("gather L1"), std::string::npos);
+}
+
+TEST(TraceExport, JsonShapeIsWellFormedEnough) {
+  const Trace trace = recorded_trace();
+  std::ostringstream out;
+  export_chrome_trace(trace, out);
+  const std::string json = out.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(count_occurrences(json, "{"), count_occurrences(json, "}"));
+  EXPECT_EQ(count_occurrences(json, "["), count_occurrences(json, "]"));
+}
+
+TEST(TraceExport, WritesFile) {
+  const Trace trace = recorded_trace();
+  const std::string path = testing::TempDir() + "hbspk_trace_test.json";
+  export_chrome_trace(trace, path);
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("traceEvents"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceExport, UnwritablePathThrows) {
+  const Trace trace = recorded_trace();
+  EXPECT_THROW(export_chrome_trace(trace, "/nonexistent/dir/trace.json"),
+               std::runtime_error);
+}
+
+TEST(TraceExport, EmptyTraceExportsEmptyEventArrayPlusMetadata) {
+  const Trace trace{4, true};
+  std::ostringstream out;
+  export_chrome_trace(trace, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("traceEvents"), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "thread_name"), 4u);
+}
+
+}  // namespace
+}  // namespace hbsp::sim

@@ -1,0 +1,125 @@
+// Unit tests for Table, CsvWriter, Cli and unit formatting.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace hbsp::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table table{"demo"};
+  table.set_header({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22222"});
+  std::ostringstream out;
+  table.render(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(text.find("| b     | 22222 |"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  Table table{"t"};
+  table.set_header({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  Table table{"t"};
+  EXPECT_THROW(table.set_header({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsHeaderAfterRows) {
+  Table table{"t"};
+  table.set_header({"a"});
+  table.add_row({"1"});
+  EXPECT_THROW(table.set_header({"b"}), std::logic_error);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(static_cast<long long>(-42)), "-42");
+}
+
+TEST(Csv, EscapesSpecials) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesRowsToFile) {
+  const std::string path = testing::TempDir() + "hbspk_csv_test.csv";
+  {
+    CsvWriter csv{path};
+    csv.write_row({"a", "b,c"});
+    csv.write_row({"1", "2"});
+  }
+  std::ifstream in{path};
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "a,\"b,c\"\n1,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ParsesAllFlagForms) {
+  // --gamma is trailing, so it is a bare boolean; "pos" right after --beta's
+  // value is positional.
+  const char* argv[] = {"prog", "--alpha=1", "--beta", "2", "pos", "--gamma"};
+  Cli cli{6, argv};
+  cli.allow("alpha").allow("beta").allow("gamma");
+  cli.validate();
+  EXPECT_EQ(cli.get_int("alpha", 0), 1);
+  EXPECT_EQ(cli.get("beta", ""), "2");
+  EXPECT_TRUE(cli.get_bool("gamma", false));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos");
+}
+
+TEST(Cli, RejectsUnknownFlags) {
+  const char* argv[] = {"prog", "--oops=1"};
+  Cli cli{2, argv};
+  cli.allow("fine");
+  EXPECT_THROW(cli.validate(), std::invalid_argument);
+}
+
+TEST(Cli, DefaultsApplyWhenMissing) {
+  const char* argv[] = {"prog"};
+  Cli cli{1, argv};
+  EXPECT_EQ(cli.get_int("absent", 7), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("absent", 2.5), 2.5);
+  EXPECT_FALSE(cli.get_bool("absent", false));
+  EXPECT_FALSE(cli.has("absent"));
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(999), "999 B");
+  EXPECT_EQ(format_bytes(1500), "1.5 KB");
+  EXPECT_EQ(format_bytes(2'000'000), "2.0 MB");
+  EXPECT_EQ(format_bytes(3'100'000'000ULL), "3.1 GB");
+}
+
+TEST(Units, FormatTimePicksScale) {
+  EXPECT_EQ(format_time(2.0), "2.000 s");
+  EXPECT_EQ(format_time(0.0025), "2.500 ms");
+  EXPECT_EQ(format_time(2.5e-6), "2.500 us");
+  EXPECT_EQ(format_time(5e-9), "5.0 ns");
+}
+
+TEST(Units, IntsInKbytes) {
+  // The paper's problem size: 100 KB of 4-byte integers.
+  EXPECT_EQ(ints_in_kbytes(100), 25000u);
+  EXPECT_EQ(ints_in_kbytes(1000), 250000u);
+}
+
+}  // namespace
+}  // namespace hbsp::util
