@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_nondedicated"
+  "../bench/ablation_nondedicated.pdb"
+  "CMakeFiles/ablation_nondedicated.dir/ablation_nondedicated.cpp.o"
+  "CMakeFiles/ablation_nondedicated.dir/ablation_nondedicated.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nondedicated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

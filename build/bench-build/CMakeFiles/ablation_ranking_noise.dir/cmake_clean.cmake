@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_ranking_noise"
+  "../bench/ablation_ranking_noise.pdb"
+  "CMakeFiles/ablation_ranking_noise.dir/ablation_ranking_noise.cpp.o"
+  "CMakeFiles/ablation_ranking_noise.dir/ablation_ranking_noise.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ranking_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_root_choice"
+  "../bench/ablation_root_choice.pdb"
+  "CMakeFiles/ablation_root_choice.dir/ablation_root_choice.cpp.o"
+  "CMakeFiles/ablation_root_choice.dir/ablation_root_choice.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_root_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_substrate"
+  "../bench/ablation_substrate.pdb"
+  "CMakeFiles/ablation_substrate.dir/ablation_substrate.cpp.o"
+  "CMakeFiles/ablation_substrate.dir/ablation_substrate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/analysis_broadcast"
+  "../bench/analysis_broadcast.pdb"
+  "CMakeFiles/analysis_broadcast.dir/analysis_broadcast.cpp.o"
+  "CMakeFiles/analysis_broadcast.dir/analysis_broadcast.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

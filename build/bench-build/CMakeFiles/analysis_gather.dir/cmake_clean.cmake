@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/analysis_gather"
+  "../bench/analysis_gather.pdb"
+  "CMakeFiles/analysis_gather.dir/analysis_gather.cpp.o"
+  "CMakeFiles/analysis_gather.dir/analysis_gather.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_gather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

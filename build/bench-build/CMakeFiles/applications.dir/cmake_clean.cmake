@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/applications"
+  "../bench/applications.pdb"
+  "CMakeFiles/applications.dir/applications.cpp.o"
+  "CMakeFiles/applications.dir/applications.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

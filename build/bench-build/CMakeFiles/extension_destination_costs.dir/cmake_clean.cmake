@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_destination_costs"
+  "../bench/extension_destination_costs.pdb"
+  "CMakeFiles/extension_destination_costs.dir/extension_destination_costs.cpp.o"
+  "CMakeFiles/extension_destination_costs.dir/extension_destination_costs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_destination_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

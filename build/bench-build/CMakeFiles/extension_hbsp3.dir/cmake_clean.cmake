@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_hbsp3"
+  "../bench/extension_hbsp3.pdb"
+  "CMakeFiles/extension_hbsp3.dir/extension_hbsp3.cpp.o"
+  "CMakeFiles/extension_hbsp3.dir/extension_hbsp3.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_hbsp3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for extension_hbsp3.
+# This may be replaced when dependencies are built.

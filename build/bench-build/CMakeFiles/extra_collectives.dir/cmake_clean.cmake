@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extra_collectives"
+  "../bench/extra_collectives.pdb"
+  "CMakeFiles/extra_collectives.dir/extra_collectives.cpp.o"
+  "CMakeFiles/extra_collectives.dir/extra_collectives.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

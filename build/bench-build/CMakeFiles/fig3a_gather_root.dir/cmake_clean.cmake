@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3a_gather_root"
+  "../bench/fig3a_gather_root.pdb"
+  "CMakeFiles/fig3a_gather_root.dir/fig3a_gather_root.cpp.o"
+  "CMakeFiles/fig3a_gather_root.dir/fig3a_gather_root.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_gather_root.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3b_gather_balance"
+  "../bench/fig3b_gather_balance.pdb"
+  "CMakeFiles/fig3b_gather_balance.dir/fig3b_gather_balance.cpp.o"
+  "CMakeFiles/fig3b_gather_balance.dir/fig3b_gather_balance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_gather_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

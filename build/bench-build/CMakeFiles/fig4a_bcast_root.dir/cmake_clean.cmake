@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4a_bcast_root"
+  "../bench/fig4a_bcast_root.pdb"
+  "CMakeFiles/fig4a_bcast_root.dir/fig4a_bcast_root.cpp.o"
+  "CMakeFiles/fig4a_bcast_root.dir/fig4a_bcast_root.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_bcast_root.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4b_bcast_balance"
+  "../bench/fig4b_bcast_balance.pdb"
+  "CMakeFiles/fig4b_bcast_balance.dir/fig4b_bcast_balance.cpp.o"
+  "CMakeFiles/fig4b_bcast_balance.dir/fig4b_bcast_balance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_bcast_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/model_accuracy"
+  "../bench/model_accuracy.pdb"
+  "CMakeFiles/model_accuracy.dir/model_accuracy.cpp.o"
+  "CMakeFiles/model_accuracy.dir/model_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_cost_model"
+  "../bench/table1_cost_model.pdb"
+  "CMakeFiles/table1_cost_model.dir/table1_cost_model.cpp.o"
+  "CMakeFiles/table1_cost_model.dir/table1_cost_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_grid_planner.dir/campus_grid_planner.cpp.o"
+  "CMakeFiles/campus_grid_planner.dir/campus_grid_planner.cpp.o.d"
+  "campus_grid_planner"
+  "campus_grid_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_grid_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

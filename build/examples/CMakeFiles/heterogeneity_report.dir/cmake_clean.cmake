@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneity_report.dir/heterogeneity_report.cpp.o"
+  "CMakeFiles/heterogeneity_report.dir/heterogeneity_report.cpp.o.d"
+  "heterogeneity_report"
+  "heterogeneity_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneity_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sample_sort.dir/sample_sort.cpp.o"
+  "CMakeFiles/sample_sort.dir/sample_sort.cpp.o.d"
+  "sample_sort"
+  "sample_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sample_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/histogram.cpp" "src/apps/CMakeFiles/hbspk_apps.dir/histogram.cpp.o" "gcc" "src/apps/CMakeFiles/hbspk_apps.dir/histogram.cpp.o.d"
+  "/root/repo/src/apps/matvec.cpp" "src/apps/CMakeFiles/hbspk_apps.dir/matvec.cpp.o" "gcc" "src/apps/CMakeFiles/hbspk_apps.dir/matvec.cpp.o.d"
+  "/root/repo/src/apps/sample_sort.cpp" "src/apps/CMakeFiles/hbspk_apps.dir/sample_sort.cpp.o" "gcc" "src/apps/CMakeFiles/hbspk_apps.dir/sample_sort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/collectives/CMakeFiles/hbspk_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hbspk_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hbspk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hbspk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hbspk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbspk_apps.dir/histogram.cpp.o"
+  "CMakeFiles/hbspk_apps.dir/histogram.cpp.o.d"
+  "CMakeFiles/hbspk_apps.dir/matvec.cpp.o"
+  "CMakeFiles/hbspk_apps.dir/matvec.cpp.o.d"
+  "CMakeFiles/hbspk_apps.dir/sample_sort.cpp.o"
+  "CMakeFiles/hbspk_apps.dir/sample_sort.cpp.o.d"
+  "libhbspk_apps.a"
+  "libhbspk_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbspk_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bytemark/kernels.cpp" "src/bytemark/CMakeFiles/hbspk_bytemark.dir/kernels.cpp.o" "gcc" "src/bytemark/CMakeFiles/hbspk_bytemark.dir/kernels.cpp.o.d"
+  "/root/repo/src/bytemark/ranking.cpp" "src/bytemark/CMakeFiles/hbspk_bytemark.dir/ranking.cpp.o" "gcc" "src/bytemark/CMakeFiles/hbspk_bytemark.dir/ranking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hbspk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hbspk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

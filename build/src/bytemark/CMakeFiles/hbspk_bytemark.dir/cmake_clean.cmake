@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbspk_bytemark.dir/kernels.cpp.o"
+  "CMakeFiles/hbspk_bytemark.dir/kernels.cpp.o.d"
+  "CMakeFiles/hbspk_bytemark.dir/ranking.cpp.o"
+  "CMakeFiles/hbspk_bytemark.dir/ranking.cpp.o.d"
+  "libhbspk_bytemark.a"
+  "libhbspk_bytemark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbspk_bytemark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

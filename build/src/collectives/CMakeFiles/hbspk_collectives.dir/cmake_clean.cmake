@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbspk_collectives.dir/advisor.cpp.o"
+  "CMakeFiles/hbspk_collectives.dir/advisor.cpp.o.d"
+  "CMakeFiles/hbspk_collectives.dir/planners.cpp.o"
+  "CMakeFiles/hbspk_collectives.dir/planners.cpp.o.d"
+  "CMakeFiles/hbspk_collectives.dir/schedule_replay.cpp.o"
+  "CMakeFiles/hbspk_collectives.dir/schedule_replay.cpp.o.d"
+  "libhbspk_collectives.a"
+  "libhbspk_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbspk_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/hbspk_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/hbspk_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/hbspk_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/hbspk_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/dest_costs.cpp" "src/core/CMakeFiles/hbspk_core.dir/dest_costs.cpp.o" "gcc" "src/core/CMakeFiles/hbspk_core.dir/dest_costs.cpp.o.d"
+  "/root/repo/src/core/machine.cpp" "src/core/CMakeFiles/hbspk_core.dir/machine.cpp.o" "gcc" "src/core/CMakeFiles/hbspk_core.dir/machine.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/hbspk_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/hbspk_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/topology.cpp" "src/core/CMakeFiles/hbspk_core.dir/topology.cpp.o" "gcc" "src/core/CMakeFiles/hbspk_core.dir/topology.cpp.o.d"
+  "/root/repo/src/core/topology_io.cpp" "src/core/CMakeFiles/hbspk_core.dir/topology_io.cpp.o" "gcc" "src/core/CMakeFiles/hbspk_core.dir/topology_io.cpp.o.d"
+  "/root/repo/src/core/workload.cpp" "src/core/CMakeFiles/hbspk_core.dir/workload.cpp.o" "gcc" "src/core/CMakeFiles/hbspk_core.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hbspk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

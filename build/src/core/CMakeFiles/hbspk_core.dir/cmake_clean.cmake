@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbspk_core.dir/analysis.cpp.o"
+  "CMakeFiles/hbspk_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/hbspk_core.dir/cost_model.cpp.o"
+  "CMakeFiles/hbspk_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/hbspk_core.dir/dest_costs.cpp.o"
+  "CMakeFiles/hbspk_core.dir/dest_costs.cpp.o.d"
+  "CMakeFiles/hbspk_core.dir/machine.cpp.o"
+  "CMakeFiles/hbspk_core.dir/machine.cpp.o.d"
+  "CMakeFiles/hbspk_core.dir/schedule.cpp.o"
+  "CMakeFiles/hbspk_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/hbspk_core.dir/topology.cpp.o"
+  "CMakeFiles/hbspk_core.dir/topology.cpp.o.d"
+  "CMakeFiles/hbspk_core.dir/topology_io.cpp.o"
+  "CMakeFiles/hbspk_core.dir/topology_io.cpp.o.d"
+  "CMakeFiles/hbspk_core.dir/workload.cpp.o"
+  "CMakeFiles/hbspk_core.dir/workload.cpp.o.d"
+  "libhbspk_core.a"
+  "libhbspk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbspk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbspk_experiments.dir/figures.cpp.o"
+  "CMakeFiles/hbspk_experiments.dir/figures.cpp.o.d"
+  "libhbspk_experiments.a"
+  "libhbspk_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbspk_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbspk_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/hbspk_runtime.dir/runtime.cpp.o.d"
+  "libhbspk_runtime.a"
+  "libhbspk_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbspk_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhbspk_runtime.a"
+)

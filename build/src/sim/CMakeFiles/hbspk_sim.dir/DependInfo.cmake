@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster_sim.cpp" "src/sim/CMakeFiles/hbspk_sim.dir/cluster_sim.cpp.o" "gcc" "src/sim/CMakeFiles/hbspk_sim.dir/cluster_sim.cpp.o.d"
+  "/root/repo/src/sim/dest_calibration.cpp" "src/sim/CMakeFiles/hbspk_sim.dir/dest_calibration.cpp.o" "gcc" "src/sim/CMakeFiles/hbspk_sim.dir/dest_calibration.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/hbspk_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/hbspk_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/sim_params.cpp" "src/sim/CMakeFiles/hbspk_sim.dir/sim_params.cpp.o" "gcc" "src/sim/CMakeFiles/hbspk_sim.dir/sim_params.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/hbspk_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/hbspk_sim.dir/trace.cpp.o.d"
+  "/root/repo/src/sim/trace_export.cpp" "src/sim/CMakeFiles/hbspk_sim.dir/trace_export.cpp.o" "gcc" "src/sim/CMakeFiles/hbspk_sim.dir/trace_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hbspk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hbspk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbspk_sim.dir/cluster_sim.cpp.o"
+  "CMakeFiles/hbspk_sim.dir/cluster_sim.cpp.o.d"
+  "CMakeFiles/hbspk_sim.dir/dest_calibration.cpp.o"
+  "CMakeFiles/hbspk_sim.dir/dest_calibration.cpp.o.d"
+  "CMakeFiles/hbspk_sim.dir/network.cpp.o"
+  "CMakeFiles/hbspk_sim.dir/network.cpp.o.d"
+  "CMakeFiles/hbspk_sim.dir/sim_params.cpp.o"
+  "CMakeFiles/hbspk_sim.dir/sim_params.cpp.o.d"
+  "CMakeFiles/hbspk_sim.dir/trace.cpp.o"
+  "CMakeFiles/hbspk_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/hbspk_sim.dir/trace_export.cpp.o"
+  "CMakeFiles/hbspk_sim.dir/trace_export.cpp.o.d"
+  "libhbspk_sim.a"
+  "libhbspk_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbspk_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbspk_util.dir/cli.cpp.o"
+  "CMakeFiles/hbspk_util.dir/cli.cpp.o.d"
+  "CMakeFiles/hbspk_util.dir/csv.cpp.o"
+  "CMakeFiles/hbspk_util.dir/csv.cpp.o.d"
+  "CMakeFiles/hbspk_util.dir/rng.cpp.o"
+  "CMakeFiles/hbspk_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hbspk_util.dir/stats.cpp.o"
+  "CMakeFiles/hbspk_util.dir/stats.cpp.o.d"
+  "CMakeFiles/hbspk_util.dir/table.cpp.o"
+  "CMakeFiles/hbspk_util.dir/table.cpp.o.d"
+  "CMakeFiles/hbspk_util.dir/units.cpp.o"
+  "CMakeFiles/hbspk_util.dir/units.cpp.o.d"
+  "libhbspk_util.a"
+  "libhbspk_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbspk_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_agreement_sim_runtime.dir/test_agreement_sim_runtime.cpp.o"
+  "CMakeFiles/test_agreement_sim_runtime.dir/test_agreement_sim_runtime.cpp.o.d"
+  "test_agreement_sim_runtime"
+  "test_agreement_sim_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_agreement_sim_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_agreement_sim_runtime.
+# This may be replaced when dependencies are built.

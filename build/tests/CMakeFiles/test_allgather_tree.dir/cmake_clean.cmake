@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_allgather_tree.dir/test_allgather_tree.cpp.o"
+  "CMakeFiles/test_allgather_tree.dir/test_allgather_tree.cpp.o.d"
+  "test_allgather_tree"
+  "test_allgather_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_allgather_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bytemark.dir/test_bytemark.cpp.o"
+  "CMakeFiles/test_bytemark.dir/test_bytemark.cpp.o.d"
+  "test_bytemark"
+  "test_bytemark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bytemark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dest_costs.dir/test_dest_costs.cpp.o"
+  "CMakeFiles/test_dest_costs.dir/test_dest_costs.cpp.o.d"
+  "test_dest_costs"
+  "test_dest_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dest_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

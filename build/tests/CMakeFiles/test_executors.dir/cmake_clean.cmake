@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_executors.dir/test_executors.cpp.o"
+  "CMakeFiles/test_executors.dir/test_executors.cpp.o.d"
+  "test_executors"
+  "test_executors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_executors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

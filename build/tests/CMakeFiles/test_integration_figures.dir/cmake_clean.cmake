@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_figures.dir/test_integration_figures.cpp.o"
+  "CMakeFiles/test_integration_figures.dir/test_integration_figures.cpp.o.d"
+  "test_integration_figures"
+  "test_integration_figures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_load_model.dir/test_load_model.cpp.o"
+  "CMakeFiles/test_load_model.dir/test_load_model.cpp.o.d"
+  "test_load_model"
+  "test_load_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_load_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_planner_agreement.dir/test_planner_agreement.cpp.o"
+  "CMakeFiles/test_planner_agreement.dir/test_planner_agreement.cpp.o.d"
+  "test_planner_agreement"
+  "test_planner_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_planner_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

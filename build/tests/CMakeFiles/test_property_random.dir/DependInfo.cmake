@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_property_random.cpp" "tests/CMakeFiles/test_property_random.dir/test_property_random.cpp.o" "gcc" "tests/CMakeFiles/test_property_random.dir/test_property_random.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/hbspk_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/hbspk_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/hbspk_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hbspk_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hbspk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hbspk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytemark/CMakeFiles/hbspk_bytemark.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hbspk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reduce_tree.dir/test_reduce_tree.cpp.o"
+  "CMakeFiles/test_reduce_tree.dir/test_reduce_tree.cpp.o.d"
+  "test_reduce_tree"
+  "test_reduce_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reduce_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology_files.dir/test_topology_files.cpp.o"
+  "CMakeFiles/test_topology_files.dir/test_topology_files.cpp.o.d"
+  "test_topology_files"
+  "test_topology_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
