@@ -8,6 +8,10 @@
 //  2. a targeted overestimate of one slow machine's score (benchmarked idle,
 //     loaded at run time) — which does reproduce the paper's anomaly: the
 //     over-provisioned sender's r_j·x_j spike makes balancing a net loss.
+//
+// Both probes shard their independent replicas across a util::ThreadPool;
+// every replica derives its seeds from its own configuration, so the tables
+// are bit-identical at any --threads value.
 
 #include <cstdio>
 #include <vector>
@@ -15,25 +19,17 @@
 #include "collectives/planners.hpp"
 #include "core/topology.hpp"
 #include "experiments/figures.hpp"
-#include "util/units.hpp"
+#include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
 
 namespace {
 
 using namespace hbsp;
 
-double mean_factor_over_seeds(exp::FigureConfig config, double noise,
-                              std::size_t row) {
-  std::vector<double> factors;
-  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
-    config.noise.stddev = noise;
-    config.noise.seed = seed * 101;
-    const auto table = exp::gather_balance_experiment(config);
-    factors.push_back(table.factor[row][0]);
-  }
-  return util::mean(factors);
-}
+constexpr int kSeeds = 8;
 
 /// The paper's §5.2 failure mode, reproduced deterministically: one slow
 /// machine's BYTEmark score is inflated by `overestimate` (it was idle when
@@ -81,20 +77,49 @@ double targeted_misestimate_factor(int p, double overestimate) {
 
 }  // namespace
 
-int main() {
-  exp::FigureConfig config;
-  config.processors = {2, 5, 10};
-  config.kbytes = {500};
+int main(int argc, char** argv) {
+  util::Cli cli{argc, argv};
+  cli.allow("threads", "worker threads for the replica sweeps (default 1)");
+  cli.validate();
+  util::ThreadPool pool{
+      static_cast<int>(cli.get_positive_int("threads", 1))};
+
+  const std::vector<double> noises = {0.0, 0.02, 0.05, 0.1, 0.2, 0.4};
+  const std::vector<int> ps = {2, 5, 10};
+
+  // One balanced-gather sweep per (noise, seed) replica; each yields the
+  // factor at every p in one pass.
+  std::vector<std::vector<double>> replica_factors(noises.size() * kSeeds);
+  pool.parallel_for(replica_factors.size(), [&](std::size_t i) {
+    exp::FigureConfig config;
+    config.processors = ps;
+    config.kbytes = {500};
+    config.noise.stddev = noises[i / kSeeds];
+    config.noise.seed = (i % kSeeds + 1) * 101;
+    const auto table = exp::gather_balance_experiment(config);
+    std::vector<double> factors;
+    for (std::size_t row = 0; row < ps.size(); ++row) {
+      factors.push_back(table.factor[row][0]);
+    }
+    replica_factors[i] = std::move(factors);
+  });
 
   util::Table table{
       "Unbiased BYTEmark measurement noise vs balanced-gather improvement "
       "T_u/T_b (mean over 8 seeds, n=500 KB)"};
   table.set_header({"noise sigma", "p=2", "p=5", "p=10"});
-  for (const double noise : {0.0, 0.02, 0.05, 0.1, 0.2, 0.4}) {
-    table.add_row({util::Table::num(noise, 2),
-                   util::Table::num(mean_factor_over_seeds(config, noise, 0), 3),
-                   util::Table::num(mean_factor_over_seeds(config, noise, 1), 3),
-                   util::Table::num(mean_factor_over_seeds(config, noise, 2), 3)});
+  for (std::size_t noise_idx = 0; noise_idx < noises.size(); ++noise_idx) {
+    std::vector<std::string> row{util::Table::num(noises[noise_idx], 2)};
+    for (std::size_t p_idx = 0; p_idx < ps.size(); ++p_idx) {
+      std::vector<double> factors;
+      for (int seed = 0; seed < kSeeds; ++seed) {
+        factors.push_back(
+            replica_factors[noise_idx * kSeeds +
+                            static_cast<std::size_t>(seed)][p_idx]);
+      }
+      row.push_back(util::Table::num(util::mean(factors), 3));
+    }
+    table.add_row(row);
   }
   table.print();
   std::puts(
@@ -102,16 +127,25 @@ int main() {
       "root's aggregate receive dominates, so Figure 3(b)'s flatness at\n"
       "large p is structural, not a measurement accident.");
 
+  const std::vector<double> overestimates = {1.0, 1.5, 2.0, 3.0, 5.0};
+  std::vector<double> targeted_factors(overestimates.size() * ps.size());
+  pool.parallel_for(targeted_factors.size(), [&](std::size_t i) {
+    targeted_factors[i] = targeted_misestimate_factor(
+        ps[i % ps.size()], overestimates[i / ps.size()]);
+  });
+
   util::Table targeted{
       "Targeted mis-estimate (SS5.2): the slowest machine's score reads f x "
       "too high, so balancing over-provisions it"};
   targeted.set_header({"overestimate f", "T_u/T_b p=2", "T_u/T_b p=5",
                        "T_u/T_b p=10"});
-  for (const double f : {1.0, 1.5, 2.0, 3.0, 5.0}) {
-    targeted.add_row({util::Table::num(f, 1),
-                      util::Table::num(targeted_misestimate_factor(2, f), 3),
-                      util::Table::num(targeted_misestimate_factor(5, f), 3),
-                      util::Table::num(targeted_misestimate_factor(10, f), 3)});
+  for (std::size_t f_idx = 0; f_idx < overestimates.size(); ++f_idx) {
+    std::vector<std::string> row{util::Table::num(overestimates[f_idx], 1)};
+    for (std::size_t p_idx = 0; p_idx < ps.size(); ++p_idx) {
+      row.push_back(
+          util::Table::num(targeted_factors[f_idx * ps.size() + p_idx], 3));
+    }
+    targeted.add_row(row);
   }
   targeted.print();
 

@@ -2,14 +2,22 @@
 // collective? The paper's design rule says "faster machines should be more
 // involved"; this sweep quantifies it by running every rooted collective
 // with the fastest, a median, and the slowest processor as root.
+//
+// The (collective, root) cases are independent simulations, so they shard
+// across a util::ThreadPool into per-case slots; rows are assembled in case
+// order so the table is identical at any --threads value.
 
 #include <algorithm>
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "collectives/planners.hpp"
 #include "core/topology.hpp"
 #include "experiments/figures.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -29,55 +37,75 @@ int median_pid(const MachineTree& tree) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  util::Cli cli{argc, argv};
+  cli.allow("threads", "worker threads for the case sweep (default 1)");
+  cli.validate();
+
   const MachineTree tree = make_paper_testbed(10);
   const std::size_t n = hbsp::util::ints_in_kbytes(500);
   const int fast = tree.coordinator_pid(tree.root());
   const int median = median_pid(tree);
   const int slow = tree.slowest_pid(tree.root());
 
-  const auto simulate = [&](const CommSchedule& schedule) {
-    return exp::simulate_makespan(tree, schedule, sim::SimParams{});
+  struct Collective {
+    const char* name;
+    std::function<CommSchedule(int)> plan;
   };
+  const std::vector<Collective> collectives = {
+      {"gather",
+       [&](int root) {
+         return coll::plan_gather(tree, n,
+                                  {.root_pid = root, .shares = Shares::kBalanced});
+       }},
+      {"scatter",
+       [&](int root) {
+         return coll::plan_scatter(
+             tree, n, {.root_pid = root, .shares = Shares::kBalanced});
+       }},
+      {"broadcast (two-phase)",
+       [&](int root) {
+         return coll::plan_broadcast(tree, n,
+                                     {.root_pid = root,
+                                      .top_phase = TopPhase::kTwoPhase,
+                                      .shares = Shares::kEqual});
+       }},
+      {"broadcast (one-phase)",
+       [&](int root) {
+         return coll::plan_broadcast(tree, n,
+                                     {.root_pid = root,
+                                      .top_phase = TopPhase::kOnePhase,
+                                      .shares = Shares::kEqual});
+       }},
+      {"reduce",
+       [&](int root) {
+         return coll::plan_reduce(tree, n,
+                                  {.root_pid = root, .shares = Shares::kBalanced});
+       }},
+  };
+  const std::vector<int> roots = {fast, median, slow};
+
+  std::vector<double> makespans(collectives.size() * roots.size(), 0.0);
+  util::ThreadPool pool{static_cast<int>(cli.get_positive_int("threads", 1))};
+  pool.parallel_for(makespans.size(), [&](std::size_t i) {
+    const auto& collective = collectives[i / roots.size()];
+    const int root = roots[i % roots.size()];
+    makespans[i] =
+        exp::simulate_makespan(tree, collective.plan(root), sim::SimParams{});
+  });
 
   util::Table table{
       "Root selection ablation (p=10, n=500 KB, balanced shares)"};
   table.set_header({"collective", "root=fastest", "root=median", "root=slowest",
                     "slowest/fastest"});
-
-  const auto add = [&](const char* name, auto&& plan) {
-    const double t_fast = simulate(plan(fast));
-    const double t_median = simulate(plan(median));
-    const double t_slow = simulate(plan(slow));
-    table.add_row({name, util::format_time(t_fast), util::format_time(t_median),
-                   util::format_time(t_slow),
+  for (std::size_t c = 0; c < collectives.size(); ++c) {
+    const double t_fast = makespans[c * roots.size()];
+    const double t_median = makespans[c * roots.size() + 1];
+    const double t_slow = makespans[c * roots.size() + 2];
+    table.add_row({collectives[c].name, util::format_time(t_fast),
+                   util::format_time(t_median), util::format_time(t_slow),
                    util::Table::num(t_slow / t_fast, 3)});
-  };
-
-  add("gather", [&](int root) {
-    return coll::plan_gather(tree, n,
-                             {.root_pid = root, .shares = Shares::kBalanced});
-  });
-  add("scatter", [&](int root) {
-    return coll::plan_scatter(tree, n,
-                              {.root_pid = root, .shares = Shares::kBalanced});
-  });
-  add("broadcast (two-phase)", [&](int root) {
-    return coll::plan_broadcast(tree, n,
-                                {.root_pid = root,
-                                 .top_phase = TopPhase::kTwoPhase,
-                                 .shares = Shares::kEqual});
-  });
-  add("broadcast (one-phase)", [&](int root) {
-    return coll::plan_broadcast(tree, n,
-                                {.root_pid = root,
-                                 .top_phase = TopPhase::kOnePhase,
-                                 .shares = Shares::kEqual});
-  });
-  add("reduce", [&](int root) {
-    return coll::plan_reduce(tree, n,
-                             {.root_pid = root, .shares = Shares::kBalanced});
-  });
+  }
   table.print();
 
   std::puts(

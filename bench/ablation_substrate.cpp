@@ -6,11 +6,19 @@
 //   A = gather T_s/T_f at p=2   (paper: < 1, the "slow root wins" anomaly)
 //   B = gather T_s/T_f at p=10  (paper: clearly > 1 and > A)
 //   C = broadcast T_s/T_f at p=10 (paper: ~1, far below B)
+//
+// The parameter variants are independent, so they shard across a
+// util::ThreadPool into per-variant slots; the table is assembled in variant
+// order and is identical at any --threads value.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "experiments/figures.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -34,50 +42,62 @@ ShapeStats measure(const sim::SimParams& params) {
 
 }  // namespace
 
-int main() {
-  util::Table table{
-      "Substrate sensitivity: headline shapes across mechanism settings"};
-  table.set_header({"variant", "gather p=2 (<1?)", "gather p=10 (>1?)",
-                    "bcast p=10 (~1?)", "shapes hold"});
+int main(int argc, char** argv) {
+  util::Cli cli{argc, argv};
+  cli.allow("threads", "worker threads for the variant sweep (default 1)");
+  cli.validate();
 
-  const auto add = [&](const char* name, const sim::SimParams& params) {
-    const ShapeStats s = measure(params);
-    const bool holds = s.gather_p2 < 1.0 && s.gather_p10 > 1.3 &&
-                       s.bcast_p10 < s.gather_p10 - 0.3 && s.bcast_p10 < 1.4;
-    table.add_row({name, util::Table::num(s.gather_p2, 3),
-                   util::Table::num(s.gather_p10, 3),
-                   util::Table::num(s.bcast_p10, 3), holds ? "yes" : "NO"});
+  struct Variant {
+    std::string name;
+    sim::SimParams params;
   };
-
-  add("defaults", sim::SimParams{});
-
+  std::vector<Variant> variants;
+  variants.push_back({"defaults", sim::SimParams{}});
   for (const double ratio : {0.4, 0.55, 0.7, 0.85}) {
     sim::SimParams p;
     p.recv_ratio = ratio;
-    add(("recv_ratio=" + util::Table::num(ratio, 2)).c_str(), p);
+    variants.push_back({"recv_ratio=" + util::Table::num(ratio, 2), p});
   }
   for (const double wire : {0.0, 0.3, 0.6, 0.9}) {
     sim::SimParams p;
     p.wire_factor_base = wire;
     p.model_wire_contention = wire > 0.0;
-    add(("wire_factor=" + util::Table::num(wire, 1)).c_str(), p);
+    variants.push_back({"wire_factor=" + util::Table::num(wire, 1), p});
   }
   {
     sim::SimParams p;
     p.o_send = 0.0;
     p.o_recv = 0.0;
-    add("no per-message overheads", p);
+    variants.push_back({"no per-message overheads", p});
   }
   {
     sim::SimParams p;
     p.o_send = 200e-6;
     p.o_recv = 300e-6;
-    add("10x per-message overheads", p);
+    variants.push_back({"10x per-message overheads", p});
   }
   {
     sim::SimParams p;
     p.latency_base = 5e-3;
-    add("10x latency", p);
+    variants.push_back({"10x latency", p});
+  }
+
+  std::vector<ShapeStats> stats(variants.size());
+  util::ThreadPool pool{static_cast<int>(cli.get_positive_int("threads", 1))};
+  pool.parallel_for(variants.size(),
+                    [&](std::size_t i) { stats[i] = measure(variants[i].params); });
+
+  util::Table table{
+      "Substrate sensitivity: headline shapes across mechanism settings"};
+  table.set_header({"variant", "gather p=2 (<1?)", "gather p=10 (>1?)",
+                    "bcast p=10 (~1?)", "shapes hold"});
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const ShapeStats& s = stats[i];
+    const bool holds = s.gather_p2 < 1.0 && s.gather_p10 > 1.3 &&
+                       s.bcast_p10 < s.gather_p10 - 0.3 && s.bcast_p10 < 1.4;
+    table.add_row({variants[i].name, util::Table::num(s.gather_p2, 3),
+                   util::Table::num(s.gather_p10, 3),
+                   util::Table::num(s.bcast_p10, 3), holds ? "yes" : "NO"});
   }
 
   table.print();

@@ -9,16 +9,23 @@
 // and the extended model's predictions against the substrate for schedules
 // with increasing shares of cross-hierarchy traffic. The extension should —
 // and does — cut the prediction error exactly where the base model is blind.
+//
+// The four probe schedules are independent, so they shard across a
+// util::ThreadPool into per-case slots (each case builds its own simulator
+// and cost models); the table assembles in case order.
 
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "collectives/planners.hpp"
 #include "core/cost_model.hpp"
 #include "core/topology.hpp"
 #include "sim/cluster_sim.hpp"
 #include "sim/dest_calibration.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -32,7 +39,11 @@ double simulated(const MachineTree& tree, const CommSchedule& schedule) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  util::Cli cli{argc, argv};
+  cli.allow("threads", "worker threads for the case sweep (default 1)");
+  cli.validate();
+
   const MachineTree tree = make_figure1_cluster();
 
   // Calibrate λ per level from the substrate.
@@ -74,23 +85,39 @@ int main() {
     cases.push_back({"hierarchical broadcast", std::move(bcast)});
   }
 
+  struct Prediction {
+    double actual = 0.0;
+    double base = 0.0;
+    double extended = 0.0;
+  };
+  std::vector<Prediction> predictions(cases.size());
+  util::ThreadPool pool{static_cast<int>(cli.get_positive_int("threads", 1))};
+  pool.parallel_for(cases.size(), [&](std::size_t i) {
+    const Case& test_case = cases[i];
+    Prediction& out = predictions[i];
+    out.actual = simulated(tree, test_case.schedule);
+    CostModel model{tree};
+    out.base = model.cost(test_case.schedule).total();
+    model.set_destination_costs(&costs);
+    out.extended = model.cost(test_case.schedule).total();
+  });
+
   util::Table table{
       "Prediction error: base SS3.4 model vs SS6 destination-extended model"};
   table.set_header({"schedule", "substrate", "base model", "base err",
                     "extended model", "ext err"});
-  for (auto& test_case : cases) {
-    const double actual = simulated(tree, test_case.schedule);
-    CostModel model{tree};
-    const double base = model.cost(test_case.schedule).total();
-    model.set_destination_costs(&costs);
-    const double extended = model.cost(test_case.schedule).total();
-    const auto err = [&](double prediction) {
-      return util::Table::num(100.0 * std::abs(prediction - actual) / actual, 1) +
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const Prediction& prediction = predictions[i];
+    const auto err = [&](double value) {
+      return util::Table::num(
+                 100.0 * std::abs(value - prediction.actual) / prediction.actual,
+                 1) +
              "%";
     };
-    table.add_row({test_case.name, util::format_time(actual),
-                   util::format_time(base), err(base),
-                   util::format_time(extended), err(extended)});
+    table.add_row({cases[i].name, util::format_time(prediction.actual),
+                   util::format_time(prediction.base), err(prediction.base),
+                   util::format_time(prediction.extended),
+                   err(prediction.extended)});
   }
   table.print();
 

@@ -10,39 +10,33 @@
 
 #include "experiments/figures.hpp"
 #include "util/cli.hpp"
-#include "util/csv.hpp"
 
 int main(int argc, char** argv) {
   using namespace hbsp;
   util::Cli cli{argc, argv};
   cli.allow("csv", "write the sweep to this CSV path")
-      .allow("seed", "BYTEmark noise seed (default 2001)")
-      .allow("noise", "BYTEmark log-normal noise sigma (default 0.05)");
+      .allow("seed", "sweep master seed (default 2001)")
+      .allow("noise", "BYTEmark log-normal noise sigma (default 0.05)")
+      .allow("threads", "sweep worker threads (default 1)");
   cli.validate();
 
   exp::FigureConfig config;
   config.noise.seed = static_cast<std::uint64_t>(cli.get_int("seed", 2001));
   config.noise.stddev = cli.get_double("noise", 0.05);
+  config.threads = static_cast<int>(cli.get_positive_int("threads", 1));
 
-  const exp::ImprovementTable table = exp::gather_balance_experiment(config);
+  exp::SweepRunner runner{config.threads};
+  const exp::ImprovementTable table =
+      exp::gather_balance_experiment(config, runner);
   table
       .to_table(
           "Figure 3(b) - gather improvement factor T_u/T_b (equal vs balanced "
           "workloads, root = fastest)")
       .print();
+  runner.counters().to_table("sweep throughput").print();
 
   if (cli.has("csv")) {
-    util::CsvWriter csv{cli.get("csv", "")};
-    std::vector<std::string> header{"p"};
-    for (const auto kb : table.kbytes) header.push_back(std::to_string(kb));
-    csv.write_row(header);
-    for (std::size_t i = 0; i < table.processors.size(); ++i) {
-      std::vector<std::string> row{std::to_string(table.processors[i])};
-      for (const double f : table.factor[i]) {
-        row.push_back(util::Table::num(f, 4));
-      }
-      csv.write_row(row);
-    }
+    exp::write_improvement_csv(table, cli.get("csv", ""));
   }
   std::puts(
       "\nPaper: balancing helps only at p=2; elsewhere the root's aggregate\n"

@@ -11,34 +11,29 @@
 
 #include "experiments/figures.hpp"
 #include "util/cli.hpp"
-#include "util/csv.hpp"
 
 int main(int argc, char** argv) {
   using namespace hbsp;
   util::Cli cli{argc, argv};
-  cli.allow("csv", "write the sweep to this CSV path");
+  cli.allow("csv", "write the sweep to this CSV path")
+      .allow("threads", "sweep worker threads (default 1)");
   cli.validate();
 
   exp::FigureConfig config;
-  const exp::ImprovementTable table = exp::broadcast_root_experiment(config);
+  config.threads = static_cast<int>(cli.get_positive_int("threads", 1));
+
+  exp::SweepRunner runner{config.threads};
+  const exp::ImprovementTable table =
+      exp::broadcast_root_experiment(config, runner);
   table
       .to_table(
           "Figure 4(a) - broadcast improvement factor T_s/T_f (root slowest vs "
           "fastest, two-phase)")
       .print();
+  runner.counters().to_table("sweep throughput").print();
 
   if (cli.has("csv")) {
-    util::CsvWriter csv{cli.get("csv", "")};
-    std::vector<std::string> header{"p"};
-    for (const auto kb : table.kbytes) header.push_back(std::to_string(kb));
-    csv.write_row(header);
-    for (std::size_t i = 0; i < table.processors.size(); ++i) {
-      std::vector<std::string> row{std::to_string(table.processors[i])};
-      for (const double f : table.factor[i]) {
-        row.push_back(util::Table::num(f, 4));
-      }
-      csv.write_row(row);
-    }
+    exp::write_improvement_csv(table, cli.get("csv", ""));
   }
   std::puts(
       "\nPaper: negligible improvement -- every processor must receive all n\n"

@@ -11,17 +11,27 @@
 //
 // and report each model's error against the simulated cluster. The ordering
 // (a) > (b) > (c) in error is the quantitative case for the model.
+//
+// The (machine, collective, size) cases are independent; each case plans and
+// simulates against shared *immutable* models, so they shard across a
+// util::ThreadPool into per-case slots and the tables assemble in case order
+// — identical output at any --threads value.
 
 #include <cmath>
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "collectives/planners.hpp"
 #include "core/cost_model.hpp"
 #include "core/topology.hpp"
 #include "sim/cluster_sim.hpp"
 #include "sim/dest_calibration.hpp"
+#include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -48,75 +58,118 @@ MachineTree homogenised(const MachineTree& tree) {
   return MachineTree::build(strip(strip, tree.root()), tree.g());
 }
 
-struct Errors {
-  util::Accumulator bsp;
-  util::Accumulator hbsp;
-  util::Accumulator extended;
+/// One machine's trees, calibration, and the three predictor models; built
+/// once, then shared read-only by the parallel cases.
+struct Machine {
+  std::string name;
+  MachineTree tree;
+  MachineTree flat_view;
+  CostModel bsp_model;
+  CostModel hbsp_model;
+  CostModel extended_model;
+  DestinationCosts lambda;
+
+  Machine(std::string machine_name, MachineTree machine_tree)
+      : name{std::move(machine_name)},
+        tree{std::move(machine_tree)},
+        flat_view{homogenised(tree)},
+        bsp_model{flat_view},
+        hbsp_model{tree},
+        extended_model{tree},
+        lambda{sim::calibrate_destination_costs(tree, sim::SimParams{})} {
+    extended_model.set_destination_costs(&lambda);
+  }
 };
 
-void evaluate(const MachineTree& tree, Errors& errors, util::Table& table,
-              const char* machine_name) {
-  const MachineTree flat_view = homogenised(tree);
-  const CostModel bsp_model{flat_view};
-  const CostModel hbsp_model{tree};
-  CostModel extended_model{tree};
-  const auto lambda = sim::calibrate_destination_costs(tree, sim::SimParams{});
-  extended_model.set_destination_costs(&lambda);
+struct Case {
+  const Machine* machine = nullptr;
+  std::string name;
+  CommSchedule schedule;
+};
 
-  const auto run_case = [&](const char* name, const CommSchedule& schedule) {
-    sim::ClusterSim sim{tree, sim::SimParams{}};
-    const double actual = sim.run(schedule).makespan;
-    const double bsp = bsp_model.cost(schedule).total();
-    const double hbsp = hbsp_model.cost(schedule).total();
-    const double extended = extended_model.cost(schedule).total();
-    const auto rel = [&](double prediction) {
-      return std::abs(prediction - actual) / actual;
-    };
-    errors.bsp.add(rel(bsp));
-    errors.hbsp.add(rel(hbsp));
-    errors.extended.add(rel(extended));
-    table.add_row({std::string{machine_name} + " " + name,
-                   util::format_time(actual),
-                   util::Table::num(100 * rel(bsp), 1) + "%",
-                   util::Table::num(100 * rel(hbsp), 1) + "%",
-                   util::Table::num(100 * rel(extended), 1) + "%"});
-  };
-
-  for (const std::size_t kb : {100u, 1000u}) {
-    const std::size_t n = util::ints_in_kbytes(kb);
-    const std::string size = std::to_string(kb) + "KB";
-    run_case(("gather " + size).c_str(), coll::plan_gather(tree, n, {}));
-    run_case(("gather-slowroot " + size).c_str(),
-             coll::plan_gather(tree, n,
-                               {.root_pid = tree.slowest_pid(tree.root()),
-                                .shares = coll::Shares::kEqual}));
-    run_case(("bcast " + size).c_str(), coll::plan_broadcast(tree, n, {}));
-    run_case(("scatter " + size).c_str(), coll::plan_scatter(tree, n, {}));
-    run_case(("reduce " + size).c_str(), coll::plan_reduce_tree(tree, n, {}));
-  }
-}
+struct Prediction {
+  double actual = 0.0;
+  double bsp = 0.0;
+  double hbsp = 0.0;
+  double extended = 0.0;
+};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  util::Cli cli{argc, argv};
+  cli.allow("threads", "worker threads for the case sweep (default 1)");
+  cli.validate();
+
+  std::vector<std::unique_ptr<Machine>> machines;
+  machines.push_back(std::make_unique<Machine>("testbed", make_paper_testbed(10)));
+  machines.push_back(std::make_unique<Machine>("campus", make_figure1_cluster()));
+  machines.push_back(std::make_unique<Machine>("wan-grid", make_wide_area_grid()));
+
+  std::vector<Case> cases;
+  for (const auto& machine : machines) {
+    const MachineTree& tree = machine->tree;
+    for (const std::size_t kb : {100u, 1000u}) {
+      const std::size_t n = util::ints_in_kbytes(kb);
+      const std::string size = std::to_string(kb) + "KB";
+      const auto add = [&](const std::string& name, CommSchedule schedule) {
+        cases.push_back({machine.get(), name, std::move(schedule)});
+      };
+      add("gather " + size, coll::plan_gather(tree, n, {}));
+      add("gather-slowroot " + size,
+          coll::plan_gather(tree, n,
+                            {.root_pid = tree.slowest_pid(tree.root()),
+                             .shares = coll::Shares::kEqual}));
+      add("bcast " + size, coll::plan_broadcast(tree, n, {}));
+      add("scatter " + size, coll::plan_scatter(tree, n, {}));
+      add("reduce " + size, coll::plan_reduce_tree(tree, n, {}));
+    }
+  }
+
+  std::vector<Prediction> predictions(cases.size());
+  util::ThreadPool pool{static_cast<int>(cli.get_positive_int("threads", 1))};
+  pool.parallel_for(cases.size(), [&](std::size_t i) {
+    const Case& test_case = cases[i];
+    const Machine& machine = *test_case.machine;
+    sim::ClusterSim sim{machine.tree, sim::SimParams{}};
+    Prediction& out = predictions[i];
+    out.actual = sim.run(test_case.schedule).makespan;
+    out.bsp = machine.bsp_model.cost(test_case.schedule).total();
+    out.hbsp = machine.hbsp_model.cost(test_case.schedule).total();
+    out.extended = machine.extended_model.cost(test_case.schedule).total();
+  });
+
   util::Table table{
       "Prediction error vs the simulated cluster: BSP / HBSP^k / HBSP^k+lambda"};
   table.set_header({"case", "simulated", "BSP err", "HBSP^k err",
                     "+dest-costs err"});
-  Errors errors;
-  evaluate(make_paper_testbed(10), errors, table, "testbed");
-  evaluate(make_figure1_cluster(), errors, table, "campus");
-  evaluate(make_wide_area_grid(), errors, table, "wan-grid");
+  util::Accumulator bsp_errors;
+  util::Accumulator hbsp_errors;
+  util::Accumulator extended_errors;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const Prediction& prediction = predictions[i];
+    const auto rel = [&](double value) {
+      return std::abs(value - prediction.actual) / prediction.actual;
+    };
+    bsp_errors.add(rel(prediction.bsp));
+    hbsp_errors.add(rel(prediction.hbsp));
+    extended_errors.add(rel(prediction.extended));
+    table.add_row({cases[i].machine->name + " " + cases[i].name,
+                   util::format_time(prediction.actual),
+                   util::Table::num(100 * rel(prediction.bsp), 1) + "%",
+                   util::Table::num(100 * rel(prediction.hbsp), 1) + "%",
+                   util::Table::num(100 * rel(prediction.extended), 1) + "%"});
+  }
   table.print();
 
   util::Table summary{"Mean relative error over all cases"};
   summary.set_header({"model", "mean error"});
   summary.add_row({"BSP (homogeneous r=1)",
-                   util::Table::num(100 * errors.bsp.summary().mean, 1) + "%"});
+                   util::Table::num(100 * bsp_errors.summary().mean, 1) + "%"});
   summary.add_row({"HBSP^k (SS3.4)",
-                   util::Table::num(100 * errors.hbsp.summary().mean, 1) + "%"});
+                   util::Table::num(100 * hbsp_errors.summary().mean, 1) + "%"});
   summary.add_row({"HBSP^k + SS6 destination costs",
-                   util::Table::num(100 * errors.extended.summary().mean, 1) +
+                   util::Table::num(100 * extended_errors.summary().mean, 1) +
                        "%"});
   summary.print();
 

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# CI gate: plain build + full ctest, then sanitizer builds + ctest to guard
+# the thread pool and the parallel sweep engine.
+#
+#   ci/check.sh                 # plain + TSan + ASan/UBSan, full suite each
+#   SANITIZERS=thread ci/check.sh     # restrict the sanitizer passes
+#   JOBS=8 ci/check.sh                # parallel build/test width
+#
+# Each configuration builds into its own tree (build-ci, build-ci-tsan,
+# build-ci-asan) so the developer's ./build is never touched.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+SANITIZERS="${SANITIZERS:-thread address}"
+
+run_suite() {
+  local dir="$1"
+  shift
+  echo "== configure ${dir} ($*)"
+  cmake -B "${dir}" -S . "$@" >/dev/null
+  echo "== build ${dir}"
+  cmake --build "${dir}" -j "${JOBS}" >/dev/null
+  echo "== ctest ${dir}"
+  ctest --test-dir "${dir}" -j "${JOBS}" --output-on-failure
+}
+
+run_suite build-ci -DHBSPK_WERROR=ON
+
+for sanitizer in ${SANITIZERS}; do
+  case "${sanitizer}" in
+    thread)  run_suite build-ci-tsan -DHBSP_SANITIZE=thread ;;
+    address) run_suite build-ci-asan -DHBSP_SANITIZE=address ;;
+    *) echo "unknown sanitizer '${sanitizer}'" >&2; exit 2 ;;
+  esac
+done
+
+# The headline determinism claim, end to end on the real binary: the Fig 3(a)
+# CSV must be byte-identical at 1 and 4 threads.
+fig3a=build-ci/bench/fig3a_gather_root
+tmp="$(mktemp -d)"
+trap 'rm -rf "${tmp}"' EXIT
+"${fig3a}" --threads 1 --csv "${tmp}/t1.csv" >/dev/null
+"${fig3a}" --threads 4 --csv "${tmp}/t4.csv" >/dev/null
+cmp "${tmp}/t1.csv" "${tmp}/t4.csv"
+echo "fig3a CSV byte-identical at 1 and 4 threads"
+
+echo "ci/check.sh: all green"

@@ -15,41 +15,18 @@ using coll::RootedOptions;
 using coll::Shares;
 using coll::TopPhase;
 
-/// Runs `make_times` over the sweep and fills the improvement table.
-template <typename TimesFn>
-ImprovementTable sweep(const FigureConfig& config, TimesFn&& make_times) {
-  ImprovementTable table;
-  table.processors = config.processors;
-  table.kbytes = config.kbytes;
-  for (const int p : config.processors) {
-    std::vector<double> row;
-    row.reserve(config.kbytes.size());
-    for (const std::size_t kb : config.kbytes) {
-      const std::size_t n = util::ints_in_kbytes(kb);
-      const auto [t_num, t_den] = make_times(p, n);
-      row.push_back(t_num / t_den);
-    }
-    table.factor.push_back(std::move(row));
-  }
-  return table;
+SweepGrid grid_of(const FigureConfig& config) {
+  return {config.processors, config.kbytes, config.noise.seed};
+}
+
+/// The cell's private BYTEmark noise stream: same sigma as the config, seed
+/// split from the master by the cell's grid position.
+bytemark::NoiseOptions cell_noise(const FigureConfig& config,
+                                  const SweepCell& cell) {
+  return {.stddev = config.noise.stddev, .seed = cell.seed};
 }
 
 }  // namespace
-
-util::Table ImprovementTable::to_table(const std::string& title) const {
-  util::Table table{title};
-  std::vector<std::string> header{"p"};
-  for (const std::size_t kb : kbytes) {
-    header.push_back(std::to_string(kb) + " KB");
-  }
-  table.set_header(std::move(header));
-  for (std::size_t i = 0; i < processors.size(); ++i) {
-    std::vector<std::string> row{std::to_string(processors[i])};
-    for (const double f : factor[i]) row.push_back(util::Table::num(f, 3));
-    table.add_row(std::move(row));
-  }
-  return table;
-}
 
 double simulate_makespan(const MachineTree& tree, const CommSchedule& schedule,
                          const sim::SimParams& params) {
@@ -58,8 +35,13 @@ double simulate_makespan(const MachineTree& tree, const CommSchedule& schedule,
 }
 
 MachineTree make_ranked_testbed(int p, const FigureConfig& config) {
+  return make_ranked_testbed(p, config, config.noise);
+}
+
+MachineTree make_ranked_testbed(int p, const FigureConfig& config,
+                                const bytemark::NoiseOptions& noise) {
   const MachineTree truth = make_paper_testbed(p, config.g, config.L);
-  const bytemark::Ranking ranking = bytemark::rank_simulated(truth, config.noise);
+  const bytemark::Ranking ranking = bytemark::rank_simulated(truth, noise);
 
   // True r values (the hardware doesn't change), estimated c fractions (the
   // practitioner only has benchmark scores to balance with, §5.1).
@@ -77,39 +59,50 @@ MachineTree make_ranked_testbed(int p, const FigureConfig& config) {
   return MachineTree::build(root, config.g);
 }
 
-ImprovementTable gather_root_experiment(const FigureConfig& config) {
-  return sweep(config, [&](int p, std::size_t n) {
-    const MachineTree tree = make_paper_testbed(p, config.g, config.L);
+ImprovementTable gather_root_experiment(const FigureConfig& config,
+                                        SweepRunner& runner) {
+  return runner.run(grid_of(config), [&config](const SweepCell& cell) {
+    const MachineTree tree = make_paper_testbed(cell.p, config.g, config.L);
     const int fast = tree.coordinator_pid(tree.root());
     const int slow = tree.slowest_pid(tree.root());
     const double t_f = simulate_makespan(
-        tree, coll::plan_gather(tree, n, {.root_pid = fast, .shares = Shares::kEqual}),
+        tree,
+        coll::plan_gather(tree, cell.n,
+                          {.root_pid = fast, .shares = Shares::kEqual}),
         config.sim);
     const double t_s = simulate_makespan(
-        tree, coll::plan_gather(tree, n, {.root_pid = slow, .shares = Shares::kEqual}),
+        tree,
+        coll::plan_gather(tree, cell.n,
+                          {.root_pid = slow, .shares = Shares::kEqual}),
         config.sim);
-    return std::pair{t_s, t_f};
+    return t_s / t_f;
   });
 }
 
-ImprovementTable gather_balance_experiment(const FigureConfig& config) {
-  return sweep(config, [&](int p, std::size_t n) {
-    const MachineTree tree = make_ranked_testbed(p, config);
+ImprovementTable gather_balance_experiment(const FigureConfig& config,
+                                           SweepRunner& runner) {
+  return runner.run(grid_of(config), [&config](const SweepCell& cell) {
+    const MachineTree tree =
+        make_ranked_testbed(cell.p, config, cell_noise(config, cell));
     const int fast = tree.coordinator_pid(tree.root());
     const double t_u = simulate_makespan(
-        tree, coll::plan_gather(tree, n, {.root_pid = fast, .shares = Shares::kEqual}),
+        tree,
+        coll::plan_gather(tree, cell.n,
+                          {.root_pid = fast, .shares = Shares::kEqual}),
         config.sim);
     const double t_b = simulate_makespan(
         tree,
-        coll::plan_gather(tree, n, {.root_pid = fast, .shares = Shares::kBalanced}),
+        coll::plan_gather(tree, cell.n,
+                          {.root_pid = fast, .shares = Shares::kBalanced}),
         config.sim);
-    return std::pair{t_u, t_b};
+    return t_u / t_b;
   });
 }
 
-ImprovementTable broadcast_root_experiment(const FigureConfig& config) {
-  return sweep(config, [&](int p, std::size_t n) {
-    const MachineTree tree = make_paper_testbed(p, config.g, config.L);
+ImprovementTable broadcast_root_experiment(const FigureConfig& config,
+                                           SweepRunner& runner) {
+  return runner.run(grid_of(config), [&config](const SweepCell& cell) {
+    const MachineTree tree = make_paper_testbed(cell.p, config.g, config.L);
     const int fast = tree.coordinator_pid(tree.root());
     const int slow = tree.slowest_pid(tree.root());
     const BroadcastOptions from_fast{.root_pid = fast,
@@ -118,16 +111,18 @@ ImprovementTable broadcast_root_experiment(const FigureConfig& config) {
     BroadcastOptions from_slow = from_fast;
     from_slow.root_pid = slow;
     const double t_f = simulate_makespan(
-        tree, coll::plan_broadcast(tree, n, from_fast), config.sim);
+        tree, coll::plan_broadcast(tree, cell.n, from_fast), config.sim);
     const double t_s = simulate_makespan(
-        tree, coll::plan_broadcast(tree, n, from_slow), config.sim);
-    return std::pair{t_s, t_f};
+        tree, coll::plan_broadcast(tree, cell.n, from_slow), config.sim);
+    return t_s / t_f;
   });
 }
 
-ImprovementTable broadcast_balance_experiment(const FigureConfig& config) {
-  return sweep(config, [&](int p, std::size_t n) {
-    const MachineTree tree = make_ranked_testbed(p, config);
+ImprovementTable broadcast_balance_experiment(const FigureConfig& config,
+                                              SweepRunner& runner) {
+  return runner.run(grid_of(config), [&config](const SweepCell& cell) {
+    const MachineTree tree =
+        make_ranked_testbed(cell.p, config, cell_noise(config, cell));
     const int fast = tree.coordinator_pid(tree.root());
     const BroadcastOptions equal{.root_pid = fast,
                                  .top_phase = TopPhase::kTwoPhase,
@@ -135,11 +130,31 @@ ImprovementTable broadcast_balance_experiment(const FigureConfig& config) {
     BroadcastOptions balanced = equal;
     balanced.shares = Shares::kBalanced;
     const double t_u = simulate_makespan(
-        tree, coll::plan_broadcast(tree, n, equal), config.sim);
+        tree, coll::plan_broadcast(tree, cell.n, equal), config.sim);
     const double t_b = simulate_makespan(
-        tree, coll::plan_broadcast(tree, n, balanced), config.sim);
-    return std::pair{t_u, t_b};
+        tree, coll::plan_broadcast(tree, cell.n, balanced), config.sim);
+    return t_u / t_b;
   });
+}
+
+ImprovementTable gather_root_experiment(const FigureConfig& config) {
+  SweepRunner runner{config.threads};
+  return gather_root_experiment(config, runner);
+}
+
+ImprovementTable gather_balance_experiment(const FigureConfig& config) {
+  SweepRunner runner{config.threads};
+  return gather_balance_experiment(config, runner);
+}
+
+ImprovementTable broadcast_root_experiment(const FigureConfig& config) {
+  SweepRunner runner{config.threads};
+  return broadcast_root_experiment(config, runner);
+}
+
+ImprovementTable broadcast_balance_experiment(const FigureConfig& config) {
+  SweepRunner runner{config.threads};
+  return broadcast_balance_experiment(config, runner);
 }
 
 }  // namespace hbsp::exp

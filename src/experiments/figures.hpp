@@ -16,6 +16,11 @@
 // Times come from the deterministic cluster simulator. Balanced shares use
 // c_j estimated from a simulated BYTEmark run (with measurement noise, as on
 // the paper's non-dedicated cluster), not the true r values.
+//
+// All four sweeps execute on the SweepRunner engine (sweep.hpp): grid cells
+// are independent, so they shard across `threads` workers, and each cell's
+// BYTEmark noise stream is split from `noise.seed` (the master seed) by the
+// cell's grid position — the table is bit-identical at any thread count.
 
 #include <cstddef>
 #include <vector>
@@ -23,6 +28,7 @@
 #include "bytemark/ranking.hpp"
 #include "core/machine.hpp"
 #include "core/schedule.hpp"
+#include "experiments/sweep.hpp"
 #include "sim/sim_params.hpp"
 #include "util/table.hpp"
 
@@ -34,19 +40,12 @@ struct FigureConfig {
   std::vector<std::size_t> kbytes = {100, 200, 300, 400, 500,
                                      600, 700, 800, 900, 1000};
   sim::SimParams sim;
+  /// `noise.seed` is the sweep's master seed; each cell derives its own
+  /// stream from it via util::split_seed.
   bytemark::NoiseOptions noise{.stddev = 0.05, .seed = 2001};
   double g = 1e-6;
   double L = 2e-3;
-};
-
-/// Improvement factors, factor[i][j] for processors[i] x kbytes[j].
-struct ImprovementTable {
-  std::vector<int> processors;
-  std::vector<std::size_t> kbytes;
-  std::vector<std::vector<double>> factor;
-
-  /// Renders with one row per p and one column per problem size.
-  [[nodiscard]] util::Table to_table(const std::string& title) const;
+  int threads = 1;  ///< sweep worker threads; < 1 uses the hardware count
 };
 
 /// Simulated makespan of a schedule on a machine.
@@ -57,11 +56,27 @@ struct ImprovementTable {
 /// The first p testbed machines with workload fractions re-estimated from a
 /// noisy simulated BYTEmark run (true r values, estimated c values) — the
 /// machine description a practitioner following §5.1 would actually have.
+/// `noise` is the per-cell stream inside sweeps, config.noise elsewhere.
 [[nodiscard]] MachineTree make_ranked_testbed(int p, const FigureConfig& config);
+[[nodiscard]] MachineTree make_ranked_testbed(
+    int p, const FigureConfig& config, const bytemark::NoiseOptions& noise);
 
+// Each experiment comes in two forms: the one-shot form spins up a private
+// runner with config.threads workers; the runner form reuses a caller-owned
+// runner (and its pool) so benches can observe counters and amortise thread
+// startup across sweeps.
 [[nodiscard]] ImprovementTable gather_root_experiment(const FigureConfig& config);
+[[nodiscard]] ImprovementTable gather_root_experiment(const FigureConfig& config,
+                                                      SweepRunner& runner);
 [[nodiscard]] ImprovementTable gather_balance_experiment(const FigureConfig& config);
+[[nodiscard]] ImprovementTable gather_balance_experiment(
+    const FigureConfig& config, SweepRunner& runner);
 [[nodiscard]] ImprovementTable broadcast_root_experiment(const FigureConfig& config);
-[[nodiscard]] ImprovementTable broadcast_balance_experiment(const FigureConfig& config);
+[[nodiscard]] ImprovementTable broadcast_root_experiment(
+    const FigureConfig& config, SweepRunner& runner);
+[[nodiscard]] ImprovementTable broadcast_balance_experiment(
+    const FigureConfig& config);
+[[nodiscard]] ImprovementTable broadcast_balance_experiment(
+    const FigureConfig& config, SweepRunner& runner);
 
 }  // namespace hbsp::exp

@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -51,6 +52,25 @@ std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const 
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
   return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+std::int64_t Cli::get_positive_int(const std::string& name,
+                                   std::int64_t fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const std::string& text = it->second;
+  // Digits only: no sign, whitespace, suffix, or the bare-flag "true".
+  const bool digits_only =
+      !text.empty() &&
+      text.find_first_not_of("0123456789") == std::string::npos;
+  errno = 0;
+  const long long value = digits_only ? std::strtoll(text.c_str(), nullptr, 10) : 0;
+  if (!digits_only || errno == ERANGE || value <= 0) {
+    throw std::invalid_argument{"--" + name +
+                                " expects a positive integer, got '" + text +
+                                "'"};
+  }
+  return value;
 }
 
 double Cli::get_double(const std::string& name, double fallback) const {

@@ -29,6 +29,12 @@ class Cli {
                                 const std::string& fallback) const;
   [[nodiscard]] std::int64_t get_int(const std::string& name,
                                      std::int64_t fallback) const;
+
+  /// Strict variant for flags like --threads: the value must be a fully
+  /// numeric, strictly positive integer; anything else (0, negatives,
+  /// non-numeric text, a bare boolean flag) throws std::invalid_argument.
+  [[nodiscard]] std::int64_t get_positive_int(const std::string& name,
+                                              std::int64_t fallback) const;
   [[nodiscard]] double get_double(const std::string& name,
                                   double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;

@@ -93,6 +93,21 @@ class Rng {
   std::array<std::uint64_t, 4> state_{};
 };
 
+/// Derives the seed of stream `stream` from a master seed, via two SplitMix64
+/// steps: one mixes the master, one mixes the stream id into it. For a fixed
+/// master the map is injective in `stream` (xor/add by constants compose with
+/// the SplitMix64 bijection), so distinct streams always get distinct,
+/// decorrelated generator seeds — the sweep engine uses this to hand every
+/// grid cell an independent Rng that is stable across runs, platforms, and
+/// thread counts.
+[[nodiscard]] constexpr std::uint64_t split_seed(std::uint64_t master,
+                                                 std::uint64_t stream) noexcept {
+  std::uint64_t state = master;
+  const std::uint64_t mixed = splitmix64(state);
+  state = mixed ^ (stream + 0x9E3779B97F4A7C15ULL);
+  return splitmix64(state);
+}
+
 /// The paper's workload: `count` uniformly distributed integers.
 [[nodiscard]] std::vector<std::int32_t> uniform_int_workload(std::size_t count,
                                                              std::uint64_t seed);

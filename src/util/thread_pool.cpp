@@ -1,0 +1,108 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace hbsp::util {
+
+ThreadPool::ThreadPool(int threads) {
+  const int count = threads >= 1 ? threads : hardware_threads();
+  // A single-thread pool runs loops inline on the caller: no workers, no
+  // wakeups — `--threads 1` is a true serial path (and serial sweeps nested
+  // inside a pooled outer loop cost nothing).
+  if (count == 1) return;
+  shards_ = std::vector<Shard>(static_cast<std::size_t>(count));
+  workers_.reserve(static_cast<std::size_t>(count));
+  for (int w = 0; w < count; ++w) {
+    workers_.emplace_back(
+        [this, w] { worker_loop(static_cast<std::size_t>(w)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock{mutex_};
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+int ThreadPool::hardware_threads() noexcept {
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  std::lock_guard submit{submit_mutex_};
+  std::unique_lock lock{mutex_};
+
+  // Publish the loop: body, one contiguous shard per worker, new epoch. Safe
+  // to mutate shards here because every worker is parked (working_ == 0).
+  body_ = body;
+  first_error_ = nullptr;
+  const std::size_t shard_count = shards_.size();
+  const std::size_t base = count / shard_count;
+  const std::size_t extra = count % shard_count;
+  std::size_t begin = 0;
+  for (std::size_t w = 0; w < shard_count; ++w) {
+    const std::size_t length = base + (w < extra ? 1 : 0);
+    shards_[w].next.store(begin, std::memory_order_relaxed);
+    shards_[w].end = begin + length;
+    begin += length;
+  }
+  working_ = workers_.size();
+  ++epoch_;
+  work_cv_.notify_all();
+
+  // Every worker leaves run_shards only once all indices have been claimed,
+  // and executes each claimed index before leaving — so working_ == 0 means
+  // the loop has fully drained.
+  done_cv_.wait(lock, [&] { return working_ == 0; });
+  const std::exception_ptr error = std::exchange(first_error_, nullptr);
+  body_ = nullptr;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock lock{mutex_};
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+    }
+    run_shards(self);
+    {
+      std::lock_guard lock{mutex_};
+      if (--working_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_shards(std::size_t self) {
+  const std::size_t shard_count = shards_.size();
+  // Drain our own shard first, then sweep the others as a thief.
+  for (std::size_t offset = 0; offset < shard_count; ++offset) {
+    Shard& shard = shards_[(self + offset) % shard_count];
+    for (;;) {
+      const std::size_t i = shard.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= shard.end) break;
+      try {
+        body_(i);
+      } catch (...) {
+        std::lock_guard lock{mutex_};
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+    }
+  }
+}
+
+}  // namespace hbsp::util

@@ -1,0 +1,79 @@
+#pragma once
+// Minimal work-stealing thread pool for sharding embarrassingly parallel
+// loops — the sweep engine's grid cells, the benches' independent cases.
+//
+// Design:
+//  * persistent workers, parked on a condition variable between loops;
+//  * parallel_for splits [0, count) into one contiguous shard per worker;
+//    a worker drains its own shard through an atomic cursor and then steals
+//    from the other shards, so uneven item costs (larger p simulates more
+//    messages) cannot leave a worker idle while another is behind;
+//  * the first exception thrown by the body is captured and rethrown on the
+//    calling thread once the loop has fully drained.
+//
+// Determinism contract: the body receives the *global* index i and must
+// write only to slot i's state. Scheduling order is unspecified, so any
+// result that depends on execution order (shared accumulators, appends) is
+// a bug in the caller — derive per-index state (e.g. util::split_seed) and
+// assemble ordered output after the loop.
+//
+// parallel_for is not reentrant and must not be called from the body.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hbsp::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; values < 1 use hardware_threads().
+  explicit ThreadPool(int threads = 1);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Execution width: the worker count, or 1 for the inline serial pool.
+  [[nodiscard]] int threads() const noexcept {
+    return workers_.empty() ? 1 : static_cast<int>(workers_.size());
+  }
+
+  /// The hardware's concurrency, at least 1.
+  [[nodiscard]] static int hardware_threads() noexcept;
+
+  /// Runs body(i) for every i in [0, count); blocks until all indices have
+  /// completed, then rethrows the first exception the body threw (if any).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  /// One contiguous index range per worker; `next` is shared with thieves.
+  struct alignas(64) Shard {
+    std::atomic<std::size_t> next{0};
+    std::size_t end = 0;
+  };
+
+  void worker_loop(std::size_t self);
+  void run_shards(std::size_t self);
+
+  std::vector<Shard> shards_;
+  std::mutex submit_mutex_;  ///< serialises concurrent parallel_for callers
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< workers wait here for a new epoch
+  std::condition_variable done_cv_;  ///< the caller waits here for the drain
+  std::function<void(std::size_t)> body_;
+  std::exception_ptr first_error_;
+  std::uint64_t epoch_ = 0;
+  std::size_t working_ = 0;  ///< workers still inside the current epoch
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hbsp::util

@@ -1,0 +1,111 @@
+// Tests for the work-stealing util::ThreadPool: exactly-once execution,
+// stealing under skewed loads, exception propagation, reuse across loops,
+// and the inline single-thread path.
+
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace hbsp::util {
+namespace {
+
+TEST(ThreadPool, ExecutesEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 3, 8}) {
+    ThreadPool pool{threads};
+    std::vector<std::atomic<int>> hits(101);
+    for (auto& h : hits) h.store(0);
+    pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ThreadsReportsExecutionWidth) {
+  EXPECT_EQ(ThreadPool{1}.threads(), 1);
+  EXPECT_EQ(ThreadPool{4}.threads(), 4);
+  // < 1 selects the hardware width, which is at least 1.
+  EXPECT_GE(ThreadPool{0}.threads(), 1);
+  EXPECT_GE(ThreadPool{-3}.threads(), 1);
+}
+
+TEST(ThreadPool, ZeroCountIsANoop) {
+  ThreadPool pool{4};
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, MoreThreadsThanWork) {
+  ThreadPool pool{8};
+  std::vector<std::atomic<int>> hits(3);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyLoops) {
+  ThreadPool pool{4};
+  std::atomic<long long> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(20, [&](std::size_t i) {
+      total += static_cast<long long>(i);
+    });
+  }
+  EXPECT_EQ(total.load(), 50LL * (19 * 20 / 2));
+}
+
+TEST(ThreadPool, StealsFromSkewedShards) {
+  // One pathological index takes far longer than the rest; with stealing the
+  // loop still finishes well under the serial sum of all sleeps.
+  ThreadPool pool{4};
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(hits.size(), [&](std::size_t i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(i == 0 ? 30 : 1));
+    ++hits[i];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RethrowsFirstBodyException) {
+  for (const int threads : {1, 4}) {
+    ThreadPool pool{threads};
+    EXPECT_THROW(
+        pool.parallel_for(10,
+                          [](std::size_t i) {
+                            if (i == 7) throw std::runtime_error{"cell 7"};
+                          }),
+        std::runtime_error);
+    // The pool survives the exception and can run again.
+    std::atomic<int> count{0};
+    pool.parallel_for(5, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 5);
+  }
+}
+
+TEST(ThreadPool, DrainsEveryIndexEvenWhenOneThrows) {
+  ThreadPool pool{4};
+  std::atomic<int> executed{0};
+  try {
+    pool.parallel_for(40, [&](std::size_t i) {
+      ++executed;
+      if (i == 3) throw std::logic_error{"boom"};
+    });
+    FAIL() << "expected the body exception to propagate";
+  } catch (const std::logic_error&) {
+  }
+  EXPECT_EQ(executed.load(), 40);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1);
+}
+
+}  // namespace
+}  // namespace hbsp::util

@@ -92,6 +92,51 @@ TEST(Cli, RejectsUnknownFlags) {
   EXPECT_THROW(cli.validate(), std::invalid_argument);
 }
 
+TEST(Cli, PositiveIntAcceptsThreadsValues) {
+  const char* argv[] = {"prog", "--threads=4", "--big", "123456"};
+  Cli cli{4, argv};
+  EXPECT_EQ(cli.get_positive_int("threads", 1), 4);
+  EXPECT_EQ(cli.get_positive_int("big", 1), 123456);
+  EXPECT_EQ(cli.get_positive_int("absent", 3), 3);  // fallback when missing
+}
+
+TEST(Cli, PositiveIntRejectsZero) {
+  const char* argv[] = {"prog", "--threads=0"};
+  Cli cli{2, argv};
+  EXPECT_THROW((void)cli.get_positive_int("threads", 1), std::invalid_argument);
+}
+
+TEST(Cli, PositiveIntRejectsNegatives) {
+  const char* argv[] = {"prog", "--threads=-2"};
+  Cli cli{2, argv};
+  EXPECT_THROW((void)cli.get_positive_int("threads", 1), std::invalid_argument);
+}
+
+TEST(Cli, PositiveIntRejectsNonNumeric) {
+  for (const char* bad : {"--threads=four", "--threads=4x", "--threads=",
+                          "--threads= 4", "--threads=4.5"}) {
+    const char* argv[] = {"prog", bad};
+    Cli cli{2, argv};
+    EXPECT_THROW((void)cli.get_positive_int("threads", 1),
+                 std::invalid_argument)
+        << bad;
+  }
+}
+
+TEST(Cli, PositiveIntRejectsBareBooleanForm) {
+  // A trailing `--threads` parses as the boolean "true", which is not a
+  // thread count.
+  const char* argv[] = {"prog", "--threads"};
+  Cli cli{2, argv};
+  EXPECT_THROW((void)cli.get_positive_int("threads", 1), std::invalid_argument);
+}
+
+TEST(Cli, PositiveIntRejectsOverflow) {
+  const char* argv[] = {"prog", "--threads=99999999999999999999999999"};
+  Cli cli{2, argv};
+  EXPECT_THROW((void)cli.get_positive_int("threads", 1), std::invalid_argument);
+}
+
 TEST(Cli, DefaultsApplyWhenMissing) {
   const char* argv[] = {"prog"};
   Cli cli{1, argv};
