@@ -46,4 +46,13 @@ trap 'rm -rf "${tmp}"' EXIT
 cmp "${tmp}/t1.csv" "${tmp}/t4.csv"
 echo "fig3a CSV byte-identical at 1 and 4 threads"
 
+# Same claim for the fault-injection path: the chaos sweep draws every fault
+# plan from (master seed, grid position), so its CSV must also be
+# byte-identical at any thread count.
+chaos=build-ci/bench/chaos_sweep
+"${chaos}" --threads 1 --csv "${tmp}/c1.csv" >/dev/null
+"${chaos}" --threads 4 --csv "${tmp}/c4.csv" >/dev/null
+cmp "${tmp}/c1.csv" "${tmp}/c4.csv"
+echo "chaos_sweep CSV byte-identical at 1 and 4 threads"
+
 echo "ci/check.sh: all green"

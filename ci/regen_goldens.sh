@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Rebuilds every golden CSV under tests/golden/ in one command, so a
+# deliberate change to the simulator, the planners, or the seed-splitting
+# scheme updates all pins consistently (then review the diff and commit).
+#
+#   ci/regen_goldens.sh             # build into ./build and regenerate
+#   BUILD_DIR=build-ci ci/regen_goldens.sh
+#
+# Every golden is produced by the corresponding bench binary at --threads 8 —
+# the same tables at any thread count, which is the point of pinning them.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "${BUILD_DIR}" -S . >/dev/null
+cmake --build "${BUILD_DIR}" -j "${JOBS}" \
+  --target fig3a_gather_root fig4a_bcast_root chaos_sweep >/dev/null
+
+"${BUILD_DIR}/bench/fig3a_gather_root" --threads 8 \
+  --csv tests/golden/fig3a.csv >/dev/null
+echo "regenerated tests/golden/fig3a.csv"
+
+"${BUILD_DIR}/bench/fig4a_bcast_root" --threads 8 \
+  --csv tests/golden/fig4a.csv >/dev/null
+echo "regenerated tests/golden/fig4a.csv"
+
+"${BUILD_DIR}/bench/chaos_sweep" --threads 8 \
+  --csv tests/golden/chaos_sweep.csv >/dev/null
+echo "regenerated tests/golden/chaos_sweep.csv"
+
+git --no-pager diff --stat -- tests/golden || true

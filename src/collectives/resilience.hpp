@@ -1,0 +1,88 @@
+#pragma once
+// Degraded-mode re-planning: what the advisor does when machines die.
+//
+// The paper's §4 decision procedure assumes a fixed machine; on the
+// non-dedicated clusters of §5.1 the machine can shrink mid-run. This layer
+// closes the loop with the fault subsystem: a collective runs under a
+// FaultPlan, and when the simulator's failure detector excludes a dropped
+// machine, the run aborts, the surviving tree is re-ranked (r renormalised
+// so the fastest survivor is 1, shares re-derived from speeds), the advisor
+// re-roots and re-plans the collective on the survivors, and execution
+// restarts with the elapsed time carried forward. Abort-and-restart is the
+// honest semantic for the rooted collectives: data held by the corpse is
+// gone, so the degraded run must redo the exchange in the smaller scope.
+//
+// The ResilienceReport quantifies what the disturbance cost: degraded vs.
+// fault-free makespan, exclusions, losses, and retries.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "collectives/advisor.hpp"
+#include "faults/fault_plan.hpp"
+#include "sim/sim_params.hpp"
+#include "util/table.hpp"
+
+namespace hbsp::coll {
+
+/// The machine that remains after removing processors, plus the pid
+/// renumbering (survivor pids are contiguous again).
+struct SurvivorTree {
+  MachineTree tree;
+  std::vector<int> to_original;  ///< new pid -> pid in the source tree
+};
+
+/// Rebuilds `tree` without the processors in `dead`. Survivor r values are
+/// renormalised so the fastest survivor is exactly 1 and g is rescaled by
+/// the same factor, so every survivor's absolute communication cost r·g —
+/// and, under the default seconds_per_op < 0, its absolute compute cost —
+/// is unchanged. compute_r is rescaled identically. Clusters left without
+/// any processor are pruned; explicit c shares are discarded in favour of
+/// the speed-proportional defaults (the advisor re-ranks the survivors).
+/// Throws std::invalid_argument when no processor survives or `dead` names
+/// an unknown pid.
+[[nodiscard]] SurvivorTree remove_processors(const MachineTree& tree,
+                                             std::span<const int> dead);
+
+/// The tail of `plan` as seen by a run restarting `elapsed` seconds in, on a
+/// survivor tree: slowdown windows and drops shift earlier by `elapsed`
+/// (clamped at zero — a drop already due fires immediately), entries for
+/// removed processors vanish, and the loss stream is re-split so the restart
+/// draws fresh, independent loss decisions. `to_original` is the survivor
+/// mapping returned by remove_processors.
+[[nodiscard]] faults::FaultPlan remap_fault_plan(
+    const faults::FaultPlan& plan, double elapsed,
+    std::span<const int> to_original);
+
+/// Outcome of one degraded collective run.
+struct ResilienceReport {
+  double fault_free_makespan = 0.0;
+  double degraded_makespan = 0.0;
+  std::vector<int> excluded_pids;  ///< original pids, in exclusion order
+  std::size_t replans = 0;         ///< advisor re-plan rounds after exclusions
+  std::size_t messages_lost = 0;
+  std::size_t retries = 0;
+  /// False when fewer than two processors survived — the collective cannot
+  /// be completed and degraded_makespan covers only the time until the run
+  /// was abandoned.
+  bool completed = true;
+
+  /// Makespan inflation versus the fault-free run (1 = unscathed).
+  [[nodiscard]] double inflation() const noexcept {
+    return fault_free_makespan > 0.0 ? degraded_makespan / fault_free_makespan
+                                     : 0.0;
+  }
+
+  [[nodiscard]] util::Table to_table(const std::string& title) const;
+};
+
+/// Runs `kind` moving n items on `tree` under `plan`, re-planning on the
+/// surviving machine every time the failure detector excludes a member, and
+/// returns the accounting. The fault-free baseline uses the same advisor
+/// configuration with no injector attached.
+[[nodiscard]] ResilienceReport run_with_replanning(
+    const MachineTree& tree, CollectiveKind kind, std::size_t n,
+    const sim::SimParams& params, const faults::FaultPlan& plan);
+
+}  // namespace hbsp::coll

@@ -1,0 +1,103 @@
+#include "faults/fault_plan.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace hbsp::faults {
+namespace {
+
+/// Stream tag mixed into the per-pid seed so the slowdown, drop, and loss
+/// draws of one processor are mutually independent.
+enum : std::uint64_t { kSlowdownStream = 1, kDropStream = 2, kLossStream = 3 };
+
+}  // namespace
+
+bool FaultPlan::empty() const noexcept {
+  return slowdowns.empty() && drops.empty() && message_loss_probability <= 0.0;
+}
+
+void FaultPlan::validate() const {
+  for (const SlowdownWindow& w : slowdowns) {
+    if (w.pid < 0) {
+      throw std::invalid_argument{"FaultPlan: slowdown pid " +
+                                  std::to_string(w.pid) + " is negative"};
+    }
+    if (!(w.begin >= 0.0) || !(w.end > w.begin)) {
+      throw std::invalid_argument{
+          "FaultPlan: slowdown window must satisfy 0 <= begin < end, got [" +
+          std::to_string(w.begin) + ", " + std::to_string(w.end) + ")"};
+    }
+    if (!(w.factor > 0.0)) {
+      throw std::invalid_argument{"FaultPlan: slowdown factor must be > 0, got " +
+                                  std::to_string(w.factor)};
+    }
+  }
+  for (const MachineDrop& d : drops) {
+    if (d.pid < 0) {
+      throw std::invalid_argument{"FaultPlan: drop pid " +
+                                  std::to_string(d.pid) + " is negative"};
+    }
+    if (!(d.time >= 0.0)) {
+      throw std::invalid_argument{"FaultPlan: drop time must be >= 0, got " +
+                                  std::to_string(d.time)};
+    }
+  }
+  if (!(message_loss_probability >= 0.0) || !(message_loss_probability <= 1.0)) {
+    throw std::invalid_argument{
+        "FaultPlan: message_loss_probability must be in [0, 1], got " +
+        std::to_string(message_loss_probability)};
+  }
+}
+
+FaultPlan make_chaos_plan(int num_processors, const ChaosOptions& options,
+                          std::uint64_t seed) {
+  if (num_processors < 1) {
+    throw std::invalid_argument{"make_chaos_plan: need at least one processor"};
+  }
+  if (options.horizon <= 0.0 || options.slowdown_rate < 0.0 ||
+      options.slowdown_max_factor <= 1.0 ||
+      options.slowdown_max_duration <= 0.0 || options.drop_probability < 0.0 ||
+      options.drop_probability > 1.0) {
+    throw std::invalid_argument{"make_chaos_plan: bad ChaosOptions"};
+  }
+
+  FaultPlan plan;
+  plan.message_loss_probability = options.message_loss_probability;
+  plan.loss_seed = util::split_seed(seed, kLossStream);
+
+  for (int pid = 0; pid < num_processors; ++pid) {
+    const auto stream = static_cast<std::uint64_t>(pid);
+
+    // Window count: floor(rate) certain windows plus one more with the
+    // fractional probability, so the expectation is exactly the rate.
+    util::Rng slow_rng{util::split_seed(util::split_seed(seed, stream),
+                                        kSlowdownStream)};
+    const double rate = options.slowdown_rate;
+    auto windows = static_cast<int>(std::floor(rate));
+    if (slow_rng.uniform01() < rate - std::floor(rate)) ++windows;
+    for (int w = 0; w < windows; ++w) {
+      SlowdownWindow window;
+      window.pid = pid;
+      window.begin = slow_rng.uniform(0.0, options.horizon);
+      window.end = window.begin +
+                   slow_rng.uniform01() * options.slowdown_max_duration +
+                   1e-9;
+      window.factor =
+          1.0 + slow_rng.uniform01() * (options.slowdown_max_factor - 1.0);
+      plan.slowdowns.push_back(window);
+    }
+
+    util::Rng drop_rng{util::split_seed(util::split_seed(seed, stream),
+                                        kDropStream)};
+    if (drop_rng.uniform01() < options.drop_probability) {
+      plan.drops.push_back({pid, drop_rng.uniform(0.0, options.horizon)});
+    }
+  }
+  plan.validate();
+  return plan;
+}
+
+}  // namespace hbsp::faults

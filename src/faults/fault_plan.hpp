@@ -1,0 +1,83 @@
+#pragma once
+// Fault plans: declarative, seeded descriptions of a misbehaving cluster.
+//
+// The paper's testbed was ten *non-dedicated* workstations (§5.1): machines
+// slow down when other users log in, segments drop packets, and a box can
+// disappear mid-run. A FaultPlan captures those disturbances as data —
+// timed per-processor slowdown windows, permanent machine drops, and a
+// per-message loss probability — so a simulation under faults is exactly as
+// reproducible as a fault-free one. Every random decision is keyed by the
+// *identity* of the thing it perturbs (pid, message id, attempt), never by
+// execution order, so any (plan, seed) pair replays bit-identically at any
+// sweep thread count.
+//
+// The plan is consumed by faults::FaultInjector (injector.hpp), which the
+// cluster simulator queries; this header is deliberately free of simulator
+// types so the subsystem layers below sim.
+
+#include <cstdint>
+#include <vector>
+
+namespace hbsp::faults {
+
+/// A transient per-processor slowdown: while the processor's virtual clock is
+/// inside [begin, end) its busy times are multiplied by `factor` — the
+/// time-varying analogue of the machine's static r ("someone started a build
+/// on ws3 between t=2s and t=5s").
+struct SlowdownWindow {
+  int pid = 0;
+  double begin = 0.0;
+  double end = 0.0;
+  double factor = 1.0;  ///< > 0; overlapping windows multiply
+};
+
+/// A permanent machine dropout: from `time` on, the processor does no
+/// compute, sends nothing, and receives nothing. Its barrier scopes stall
+/// until the failure detector excludes it (see SimParams).
+struct MachineDrop {
+  int pid = 0;
+  double time = 0.0;
+};
+
+/// A full disturbance script for one run.
+struct FaultPlan {
+  std::vector<SlowdownWindow> slowdowns;
+  std::vector<MachineDrop> drops;
+
+  /// Probability that any single send attempt vanishes on the wire. The
+  /// decision for (message, attempt) is a pure function of `loss_seed` and
+  /// those identities — deterministic and order-independent.
+  double message_loss_probability = 0.0;
+  std::uint64_t loss_seed = 1;
+
+  /// True when the plan perturbs nothing (the injector is then a no-op and
+  /// the simulation is bit-identical to a fault-free run).
+  [[nodiscard]] bool empty() const noexcept;
+
+  /// Throws std::invalid_argument with a field-naming message when any
+  /// window is inverted or non-positive, any pid is negative, any drop time
+  /// is negative, or the loss probability is outside [0, 1].
+  void validate() const;
+};
+
+/// Knobs of the deterministic chaos-plan generator used by the chaos sweeps.
+/// All durations are virtual seconds; `horizon` bounds when disturbances
+/// start.
+struct ChaosOptions {
+  double horizon = 1.0;                ///< disturbances begin in [0, horizon)
+  double slowdown_rate = 0.0;          ///< expected windows per processor
+  double slowdown_max_factor = 4.0;    ///< factors drawn from (1, max]
+  double slowdown_max_duration = 0.2;  ///< durations drawn from (0, max]
+  double drop_probability = 0.0;       ///< per-processor chance of a dropout
+  double message_loss_probability = 0.0;
+};
+
+/// Draws a FaultPlan for `num_processors` machines from `seed`. Each
+/// processor's disturbances come from a private stream split from the seed
+/// by pid, so the plan for processor j does not change when the machine
+/// count does. The returned plan always validates.
+[[nodiscard]] FaultPlan make_chaos_plan(int num_processors,
+                                        const ChaosOptions& options,
+                                        std::uint64_t seed);
+
+}  // namespace hbsp::faults

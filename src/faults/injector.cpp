@@ -1,0 +1,62 @@
+#include "faults/injector.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace hbsp::faults {
+namespace {
+
+constexpr double kNever = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  plan_.validate();
+  int max_pid = -1;
+  for (const SlowdownWindow& w : plan_.slowdowns) max_pid = std::max(max_pid, w.pid);
+  for (const MachineDrop& d : plan_.drops) max_pid = std::max(max_pid, d.pid);
+  windows_by_pid_.resize(static_cast<std::size_t>(max_pid + 1));
+  drop_time_by_pid_.assign(static_cast<std::size_t>(max_pid + 1), kNever);
+  for (const SlowdownWindow& w : plan_.slowdowns) {
+    windows_by_pid_[static_cast<std::size_t>(w.pid)].push_back(w);
+  }
+  for (const MachineDrop& d : plan_.drops) {
+    auto& at = drop_time_by_pid_[static_cast<std::size_t>(d.pid)];
+    at = std::min(at, d.time);
+  }
+}
+
+double FaultInjector::slowdown_factor(int pid, double at) const noexcept {
+  if (pid < 0 || static_cast<std::size_t>(pid) >= windows_by_pid_.size()) {
+    return 1.0;
+  }
+  double factor = 1.0;
+  for (const SlowdownWindow& w : windows_by_pid_[static_cast<std::size_t>(pid)]) {
+    if (w.begin <= at && at < w.end) factor *= w.factor;
+  }
+  return factor;
+}
+
+double FaultInjector::drop_time(int pid) const noexcept {
+  if (pid < 0 || static_cast<std::size_t>(pid) >= drop_time_by_pid_.size()) {
+    return kNever;
+  }
+  return drop_time_by_pid_[static_cast<std::size_t>(pid)];
+}
+
+bool FaultInjector::lose_message(std::uint64_t message_key,
+                                 int attempt) const noexcept {
+  const double p = plan_.message_loss_probability;
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  // Two split_seed hops key the draw by identity, not by call order.
+  const std::uint64_t stream = util::split_seed(
+      util::split_seed(plan_.loss_seed, message_key),
+      static_cast<std::uint64_t>(attempt));
+  util::Rng rng{stream};
+  return rng.uniform01() < p;
+}
+
+}  // namespace hbsp::faults

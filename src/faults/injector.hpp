@@ -1,0 +1,52 @@
+#pragma once
+// The FaultInjector answers the cluster simulator's three questions — "how
+// slow is this processor right now?", "is this machine still alive?", and
+// "did this send attempt survive the wire?" — as pure functions of a
+// validated FaultPlan. It holds no mutable state, so one injector can be
+// shared by any number of simulators and every answer is independent of the
+// order in which questions are asked (the determinism contract the sweep
+// engine relies on).
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+
+namespace hbsp::faults {
+
+class FaultInjector {
+ public:
+  /// Validates and takes ownership of the plan.
+  explicit FaultInjector(FaultPlan plan);
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// Product of the factors of all slowdown windows of `pid` containing
+  /// `at`; exactly 1.0 when none do, so an empty plan perturbs nothing.
+  [[nodiscard]] double slowdown_factor(int pid, double at) const noexcept;
+
+  /// Virtual time at which `pid` drops out, +infinity if it never does.
+  /// Multiple drops of one pid collapse to the earliest.
+  [[nodiscard]] double drop_time(int pid) const noexcept;
+
+  /// True when `pid` has dropped out by time `at`.
+  [[nodiscard]] bool dropped_by(int pid, double at) const noexcept {
+    return drop_time(pid) <= at;
+  }
+
+  /// True when the plan schedules at least one dropout.
+  [[nodiscard]] bool has_drops() const noexcept { return !plan_.drops.empty(); }
+
+  /// Whether send attempt `attempt` (1-based) of the message identified by
+  /// `message_key` is lost. A pure function of (loss_seed, key, attempt):
+  /// stable across runs, platforms, and call order.
+  [[nodiscard]] bool lose_message(std::uint64_t message_key,
+                                  int attempt) const noexcept;
+
+ private:
+  FaultPlan plan_;
+  std::vector<std::vector<SlowdownWindow>> windows_by_pid_;
+  std::vector<double> drop_time_by_pid_;
+};
+
+}  // namespace hbsp::faults

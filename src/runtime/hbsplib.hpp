@@ -32,6 +32,10 @@
 #include "runtime/message.hpp"
 #include "sim/sim_params.hpp"
 
+namespace hbsp::faults {
+class FaultInjector;
+}  // namespace hbsp::faults
+
 namespace hbsp::rt {
 
 enum class EngineKind { kVirtualTime, kWallClock };
@@ -133,6 +137,14 @@ struct RunOptions {
   /// failed with "barrier timeout" — the guard against mismatched sync_scope
   /// calls deadlocking a program forever.
   double barrier_timeout_seconds = 60.0;
+
+  /// Optional fault injector for the virtual-time engine: slowdown windows,
+  /// message loss (re-sent with timeout/backoff), and machine drops perturb
+  /// the *virtual clock* exactly as in ClusterSim. Payload delivery between
+  /// program instances is unaffected — the simulated transport re-sends
+  /// until delivery — so program semantics stay intact while timings
+  /// degrade honestly. Must outlive the run; ignored by kWallClock.
+  const faults::FaultInjector* fault_injector = nullptr;
 };
 
 /// Runs `program` SPMD on every processor of `tree` and blocks until all

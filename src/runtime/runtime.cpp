@@ -43,6 +43,9 @@ class Runtime {
             std::chrono::duration<double>(options.barrier_timeout_seconds))) {
     if (engine_ == EngineKind::kVirtualTime) {
       sim_ = std::make_unique<sim::ClusterSim>(tree_, params);
+      if (options.fault_injector != nullptr) {
+        sim_->set_fault_injector(options.fault_injector);
+      }
     }
     const auto p = static_cast<std::size_t>(tree_.num_processors());
     states_.resize(p);

@@ -18,8 +18,16 @@ ClusterSim::ClusterSim(const MachineTree& tree, SimParams params,
                                                   : params.seconds_per_op),
       network_(tree, params_),
       trace_(tree.num_processors(), record_events),
-      clock_(static_cast<std::size_t>(tree.num_processors()), 0.0) {
+      clock_(static_cast<std::size_t>(tree.num_processors()), 0.0),
+      excluded_(static_cast<std::size_t>(tree.num_processors()), 0) {
   params_.validate();
+}
+
+void ClusterSim::set_fault_injector(const faults::FaultInjector* injector) {
+  faults_ = injector;
+  std::fill(excluded_.begin(), excluded_.end(), 0);
+  excluded_pids_.clear();
+  fault_stats_ = FaultStats{};
 }
 
 void ClusterSim::reset() {
@@ -27,6 +35,21 @@ void ClusterSim::reset() {
   trace_.clear();
   network_.reset();
   plan_counter_ = 0;
+  std::fill(excluded_.begin(), excluded_.end(), 0);
+  excluded_pids_.clear();
+  fault_stats_ = FaultStats{};
+  if (faults_ != nullptr && trace_.recording_events()) {
+    // Make the planned slowdown windows visible in the event trace up front;
+    // drops/losses/retries are recorded when the run encounters them.
+    for (const auto& w : faults_->plan().slowdowns) {
+      if (w.pid >= tree_->num_processors()) continue;
+      const auto milli = static_cast<std::size_t>(w.factor * 1000.0);
+      trace_.record({w.begin, EventKind::kSlowdownStart, w.pid, -1, milli,
+                     "fault plan"});
+      trace_.record({w.end, EventKind::kSlowdownEnd, w.pid, -1, milli,
+                     "fault plan"});
+    }
+  }
 }
 
 double ClusterSim::load_factor(int pid) const {
@@ -76,18 +99,45 @@ std::vector<PlanTiming> ClusterSim::execute_phase(const Phase& phase) {
 PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
   ++plan_counter_;
   const auto [first, last] = tree_->processor_range(plan.sync_scope);
-  PlanTiming timing;
-  timing.start = std::numeric_limits<double>::infinity();
-  for (int pid = first; pid < last; ++pid) {
-    timing.start = std::min(timing.start, clock_[static_cast<std::size_t>(pid)]);
-  }
   if (first >= last) throw std::logic_error{"execute_plan: empty scope"};
 
-  // 1. Local computation.
+  PlanTiming timing;
+  timing.start = std::numeric_limits<double>::infinity();
+  bool any_live = false;
+  for (int pid = first; pid < last; ++pid) {
+    const auto slot = static_cast<std::size_t>(pid);
+    if (dead_at(pid, clock_[slot])) continue;
+    any_live = true;
+    timing.start = std::min(timing.start, clock_[slot]);
+  }
+  if (!any_live) {
+    // Every scope member has dropped: the plan is a ghost. Nothing runs, no
+    // barrier closes; the detector still flags the unreported corpses so the
+    // re-planning layer learns about fully-dead clusters.
+    double frozen = 0.0;
+    for (int pid = first; pid < last; ++pid) {
+      frozen = std::max(frozen, clock_[static_cast<std::size_t>(pid)]);
+      const auto slot = static_cast<std::size_t>(pid);
+      if (excluded_[slot]) continue;
+      excluded_[slot] = 1;
+      excluded_pids_.push_back(pid);
+      ++fault_stats_.machines_excluded;
+      trace_.record({clock_[slot], EventKind::kMachineDrop, pid, -1, 0,
+                     plan.label});
+    }
+    timing.start = timing.work_end = timing.wire_end = timing.barrier_exit =
+        frozen;
+    return timing;
+  }
+
+  // 1. Local computation. A dropped processor does no further work; a
+  //    slowdown window stretches busy time like a time-varying r.
   for (const auto& work : plan.compute) {
     const auto slot = static_cast<std::size_t>(work.pid);
+    if (dead_at(work.pid, clock_[slot])) continue;
     const double seconds = work.ops * tree_->processor_compute_r(work.pid) *
-                           seconds_per_op_ * load_factor(work.pid);
+                           seconds_per_op_ * load_factor(work.pid) *
+                           fault_slow(work.pid, clock_[slot]);
     trace_.record({clock_[slot], EventKind::kComputeStart, work.pid, -1,
                    static_cast<std::size_t>(work.ops), plan.label});
     clock_[slot] += seconds;
@@ -98,6 +148,9 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
 
   // 2. Sends, serialised per sender in issue order. Arrival times land in
   //    per-receiver queues keyed by (time, issue sequence) for determinism.
+  //    Under faults a lost attempt is re-sent after an exponential-backoff
+  //    timeout; every attempt re-pays the sender overhead and the wire
+  //    occupancy of each crossed network, so resilience is never free.
   struct Arrival {
     double time;
     std::size_t seq;
@@ -109,40 +162,81 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
     }
   };
   std::map<int, std::vector<Arrival>> inbox;
+  // Shared-medium occupancy this superstep, accumulated per attempt (the
+  // plan-level throughput bound applied at the closing barrier).
+  std::map<std::size_t, double> busy_per_network;
   std::size_t seq = 0;
   for (const auto& t : plan.transfers) {
     ++seq;
     if (t.src_pid == t.dst_pid || t.items == 0) continue;
     const auto slot = static_cast<std::size_t>(t.src_pid);
+    if (dead_at(t.src_pid, clock_[slot])) continue;  // message never leaves
     const double r = tree_->processor_r(t.src_pid);
     const double lambda =
         destination_costs_ ? destination_costs_->factor(t.src_pid, t.dst_pid)
                            : 1.0;
-    const double busy = (params_.o_send * r +
-                         tree_->g() * r * lambda * static_cast<double>(t.items)) *
-                        load_factor(t.src_pid);
-    trace_.record({clock_[slot], EventKind::kSendStart, t.src_pid, t.dst_pid,
-                   t.items, plan.label});
-    clock_[slot] += busy;
-    trace_.note_send(t.src_pid, t.items, busy);
-    trace_.record({clock_[slot], EventKind::kSendEnd, t.src_pid, t.dst_pid,
-                   t.items, plan.label});
-
     const int lca = tree_->lca_level(t.src_pid, t.dst_pid);
-    const double arrival = clock_[slot] + network_.latency(lca);
-    trace_.record({arrival, EventKind::kArrival, t.dst_pid, t.src_pid, t.items,
-                   plan.label});
-    inbox[t.dst_pid].push_back({arrival, seq, t.src_pid, t.items, lambda});
+    // Message identity: stable across runs and thread counts, so the loss
+    // draw for (message, attempt) replays bit-identically.
+    const std::uint64_t message_key =
+        (static_cast<std::uint64_t>(plan_counter_) << 32) ^ seq;
+    int attempt = 1;
+    double timeout = params_.retry_timeout;
+    for (;;) {
+      if (attempt > 1) {
+        ++fault_stats_.retries;
+        trace_.record({clock_[slot], EventKind::kRetry, t.src_pid, t.dst_pid,
+                       t.items, plan.label});
+      }
+      const double busy =
+          (params_.o_send * r +
+           tree_->g() * r * lambda * static_cast<double>(t.items)) *
+          load_factor(t.src_pid) * fault_slow(t.src_pid, clock_[slot]);
+      trace_.record({clock_[slot], EventKind::kSendStart, t.src_pid, t.dst_pid,
+                     t.items, plan.label});
+      clock_[slot] += busy;
+      trace_.note_send(t.src_pid, t.items, busy);
+      trace_.record({clock_[slot], EventKind::kSendEnd, t.src_pid, t.dst_pid,
+                     t.items, plan.label});
 
-    // Charge shared-medium occupancy on every crossed network.
-    route_scratch_.clear();
-    network_.route(t.src_pid, t.dst_pid, route_scratch_);
-    for (const MachineId net : route_scratch_) {
-      auto& stats = network_.stats(net);
-      stats.items_crossed += t.items;
-      ++stats.messages_crossed;
-      stats.wire_seconds +=
-          network_.wire_per_item(net.level) * static_cast<double>(t.items);
+      // Charge shared-medium occupancy on every crossed network.
+      route_scratch_.clear();
+      network_.route(t.src_pid, t.dst_pid, route_scratch_);
+      for (const MachineId net : route_scratch_) {
+        auto& stats = network_.stats(net);
+        stats.items_crossed += t.items;
+        ++stats.messages_crossed;
+        const double wire =
+            network_.wire_per_item(net.level) * static_cast<double>(t.items);
+        stats.wire_seconds += wire;
+        if (params_.model_wire_contention) {
+          const auto key = static_cast<std::size_t>(net.level) * 100000u +
+                           static_cast<std::size_t>(net.index);
+          busy_per_network[key] += wire;
+        }
+      }
+
+      const double arrival = clock_[slot] + network_.latency(lca);
+      const bool dst_dead =
+          faults_ != nullptr && faults_->dropped_by(t.dst_pid, arrival);
+      const bool final_attempt = attempt >= params_.max_send_attempts;
+      const bool lost =
+          faults_ != nullptr &&
+          (dst_dead ||
+           (!final_attempt && faults_->lose_message(message_key, attempt)));
+      if (!lost) {
+        trace_.record({arrival, EventKind::kArrival, t.dst_pid, t.src_pid,
+                       t.items, plan.label});
+        inbox[t.dst_pid].push_back({arrival, seq, t.src_pid, t.items, lambda});
+        break;
+      }
+      ++fault_stats_.messages_lost;
+      trace_.record({arrival, EventKind::kMessageLost, t.dst_pid, t.src_pid,
+                     t.items, plan.label});
+      if (final_attempt) break;  // the receiver is gone; the sender gives up
+      clock_[slot] += timeout;   // wait out the acknowledgement that never comes
+      timeout *= params_.retry_backoff;
+      ++attempt;
     }
   }
 
@@ -154,10 +248,18 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
     const double r = tree_->processor_r(dst);
     for (const Arrival& a : arrivals) {
       const double start = std::max(clock_[slot], a.time);
+      if (dead_at(dst, start)) {
+        // The receiver died between the wire and the drain: the payload is
+        // lost with the machine.
+        ++fault_stats_.messages_lost;
+        trace_.record({start, EventKind::kMessageLost, dst, a.src, a.items,
+                       plan.label});
+        continue;
+      }
       const double busy =
           (params_.o_recv * r + params_.recv_ratio * tree_->g() * r * a.lambda *
                                     static_cast<double>(a.items)) *
-          load_factor(dst);
+          load_factor(dst) * fault_slow(dst, start);
       trace_.record({start, EventKind::kRecvStart, dst, a.src, a.items,
                      plan.label});
       clock_[slot] = start + busy;
@@ -168,40 +270,59 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
   }
 
   // 4. Shared-medium throughput bound per crossed network, measured from the
-  //    plan's start. (Networks touched by this plan are inside its scope, so
-  //    the per-plan sum within this phase is the right aggregate.)
+  //    plan's start, over the occupancy accumulated in step 2 (including
+  //    every retry). Networks touched by this plan are inside its scope, so
+  //    the per-plan sum within this phase is the right aggregate.
   timing.work_end = 0.0;
   for (int pid = first; pid < last; ++pid) {
-    timing.work_end =
-        std::max(timing.work_end, clock_[static_cast<std::size_t>(pid)]);
+    const auto slot = static_cast<std::size_t>(pid);
+    if (dead_at(pid, clock_[slot])) continue;
+    timing.work_end = std::max(timing.work_end, clock_[slot]);
   }
   timing.wire_end = timing.start;
-  if (params_.model_wire_contention) {
-    // Re-walk the plan's transfers to sum occupancy per network this step.
-    std::map<std::size_t, double> busy_per_network;
-    for (const auto& t : plan.transfers) {
-      if (t.src_pid == t.dst_pid || t.items == 0) continue;
-      route_scratch_.clear();
-      network_.route(t.src_pid, t.dst_pid, route_scratch_);
-      for (const MachineId net : route_scratch_) {
-        const auto key = static_cast<std::size_t>(net.level) * 100000u +
-                         static_cast<std::size_t>(net.index);
-        busy_per_network[key] +=
-            network_.wire_per_item(net.level) * static_cast<double>(t.items);
-      }
-    }
-    for (const auto& [key, busy] : busy_per_network) {
-      timing.wire_end = std::max(timing.wire_end, timing.start + busy);
-    }
+  for (const auto& [key, busy] : busy_per_network) {
+    (void)key;
+    timing.wire_end = std::max(timing.wire_end, timing.start + busy);
   }
 
-  // 5. Barrier: everyone in scope jumps to the common exit time.
+  // 5. Barrier: everyone in scope jumps to the common exit time. A dropped,
+  //    not-yet-excluded member stalls the scope: survivors wait the failure
+  //    detector's timeout (a multiple of the expected superstep span) before
+  //    excluding the corpse and moving on.
   const double barrier_enter = std::max(timing.work_end, timing.wire_end);
-  timing.barrier_exit = barrier_enter + tree_->sync_L(plan.sync_scope);
+  const double L = tree_->sync_L(plan.sync_scope);
+  timing.barrier_exit = barrier_enter + L;
+  if (faults_ != nullptr && faults_->has_drops()) {
+    bool newly_dropped = false;
+    for (int pid = first; pid < last; ++pid) {
+      if (excluded_[static_cast<std::size_t>(pid)]) continue;
+      if (faults_->drop_time(pid) <= barrier_enter) newly_dropped = true;
+    }
+    if (newly_dropped) {
+      timing.barrier_exit =
+          timing.start + params_.failure_detector_multiple *
+                             (barrier_enter - timing.start + L);
+      for (int pid = first; pid < last; ++pid) {
+        const auto slot = static_cast<std::size_t>(pid);
+        if (excluded_[slot] || faults_->drop_time(pid) > barrier_enter) {
+          continue;
+        }
+        excluded_[slot] = 1;
+        excluded_pids_.push_back(pid);
+        ++fault_stats_.machines_excluded;
+        trace_.record({timing.barrier_exit, EventKind::kMachineDrop, pid, -1,
+                       0, plan.label});
+        // The corpse's clock freezes at its last sign of life.
+        clock_[slot] = std::min(clock_[slot], faults_->drop_time(pid));
+      }
+    }
+  }
   for (int pid = first; pid < last; ++pid) {
-    trace_.record({clock_[static_cast<std::size_t>(pid)],
-                   EventKind::kBarrierEnter, pid, -1, 0, plan.label});
-    clock_[static_cast<std::size_t>(pid)] = timing.barrier_exit;
+    const auto slot = static_cast<std::size_t>(pid);
+    if (dead_at(pid, clock_[slot])) continue;  // the dead do not synchronise
+    trace_.record({clock_[slot], EventKind::kBarrierEnter, pid, -1, 0,
+                   plan.label});
+    clock_[slot] = timing.barrier_exit;
     trace_.record({timing.barrier_exit, EventKind::kBarrierExit, pid, -1, 0,
                    plan.label});
   }

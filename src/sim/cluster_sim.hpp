@@ -20,11 +20,21 @@
 // Everything is deterministic: ties in arrival order break by send issue
 // sequence.
 
+// When a faults::FaultInjector is attached (set_fault_injector), three
+// disturbance classes perturb the run — transient slowdown windows multiply
+// busy times like a time-varying r; lost send attempts are re-sent after an
+// exponential-backoff timeout, each retry re-paying the sender overhead and
+// wire occupancy; dropped machines stop computing and stall their barrier
+// scope until the failure detector excludes them. With no injector (or an
+// empty plan) every timing is bit-identical to the fault-free simulator.
+
+#include <cstdint>
 #include <vector>
 
 #include "core/dest_costs.hpp"
 #include "core/machine.hpp"
 #include "core/schedule.hpp"
+#include "faults/injector.hpp"
 #include "sim/network.hpp"
 #include "sim/sim_params.hpp"
 #include "sim/trace.hpp"
@@ -46,6 +56,13 @@ struct SimResult {
   std::vector<std::vector<PlanTiming>> plan_timings;  ///< [phase][plan]
 };
 
+/// Aggregate fault-injection outcomes of a run (all zero without faults).
+struct FaultStats {
+  std::size_t messages_lost = 0;  ///< send attempts that vanished on the wire
+  std::size_t retries = 0;        ///< re-sends after a loss timeout
+  std::size_t machines_excluded = 0;  ///< dropouts the detector excluded
+};
+
 class ClusterSim {
  public:
   /// Validates `params`; `record_events` enables the full event trace.
@@ -58,6 +75,11 @@ class ClusterSim {
   void set_destination_costs(const DestinationCosts* costs) noexcept {
     destination_costs_ = costs;
   }
+
+  /// Attaches a fault injector (see the class comment). The object must
+  /// outlive the simulator; nullptr restores the fault-free behaviour.
+  /// Resets fault state (exclusions, stats) for the next run.
+  void set_fault_injector(const faults::FaultInjector* injector);
 
   /// Runs a validated schedule from time zero (resets state first).
   SimResult run(const CommSchedule& schedule);
@@ -80,8 +102,29 @@ class ClusterSim {
   [[nodiscard]] const MachineTree& tree() const noexcept { return *tree_; }
   [[nodiscard]] const SimParams& params() const noexcept { return params_; }
 
+  /// Processors the failure detector has excluded so far, in exclusion
+  /// order. Cleared by reset(); empty without an injector.
+  [[nodiscard]] const std::vector<int>& excluded_pids() const noexcept {
+    return excluded_pids_;
+  }
+
+  /// Loss/retry/exclusion counters since the last reset().
+  [[nodiscard]] const FaultStats& fault_stats() const noexcept {
+    return fault_stats_;
+  }
+
  private:
   PlanTiming execute_plan(const SuperstepPlan& plan);
+
+  /// Whether `pid` has dropped out by virtual time `at`.
+  [[nodiscard]] bool dead_at(int pid, double at) const {
+    return faults_ != nullptr && faults_->dropped_by(pid, at);
+  }
+
+  /// Fault slowdown multiplier of `pid` at time `at` (1.0 without faults).
+  [[nodiscard]] double fault_slow(int pid, double at) const {
+    return faults_ != nullptr ? faults_->slowdown_factor(pid, at) : 1.0;
+  }
 
   /// Background-load slowdown of `pid` during the current superstep
   /// (log-normal, deterministic per load_seed/pid/superstep; 1.0 when the
@@ -96,7 +139,11 @@ class ClusterSim {
   std::vector<double> clock_;
   std::vector<MachineId> route_scratch_;
   const DestinationCosts* destination_costs_ = nullptr;
+  const faults::FaultInjector* faults_ = nullptr;
   std::size_t plan_counter_ = 0;
+  std::vector<char> excluded_;    ///< per pid: detector has excluded it
+  std::vector<int> excluded_pids_;
+  FaultStats fault_stats_;
 };
 
 }  // namespace hbsp::sim

@@ -18,6 +18,25 @@ void SimParams::validate() const {
   if (load_stddev < 0.0) {
     throw std::invalid_argument{"SimParams: load_stddev < 0"};
   }
+  if (!(retry_timeout > 0.0)) {
+    throw std::invalid_argument{
+        "SimParams: retry_timeout must be > 0 (a zero timeout would re-send "
+        "lost messages instantly, for free)"};
+  }
+  if (!(retry_backoff >= 1.0)) {
+    throw std::invalid_argument{
+        "SimParams: retry_backoff must be >= 1 (timeouts may not shrink)"};
+  }
+  if (max_send_attempts < 1) {
+    throw std::invalid_argument{
+        "SimParams: max_send_attempts must be >= 1 (a message needs at least "
+        "one attempt)"};
+  }
+  if (!(failure_detector_multiple >= 1.0)) {
+    throw std::invalid_argument{
+        "SimParams: failure_detector_multiple must be >= 1 (the detector "
+        "cannot fire before the expected barrier exit)"};
+  }
 }
 
 }  // namespace hbsp::sim

@@ -62,7 +62,34 @@ struct SimParams {
   double load_stddev = 0.0;
   std::uint64_t load_seed = 1;
 
-  /// Throws std::invalid_argument if any field is out of range.
+  // --- fault-tolerant transport -------------------------------------------
+  // Active only when a faults::FaultInjector is attached to the simulator;
+  // without one, none of these fields are read and the injection layer is
+  // cost-free.
+
+  /// Seconds a sender waits for the acknowledgement of a lost message before
+  /// its first re-send. Each retry re-pays the sender's o_send + g·items
+  /// serialisation and the wire occupancy of every crossed network, so
+  /// resilience carries an honest model cost.
+  double retry_timeout = 5e-3;
+
+  /// Timeout multiplier applied per additional re-send (exponential backoff).
+  double retry_backoff = 2.0;
+
+  /// Send attempts per message before the sender gives up. The final attempt
+  /// to a *live* receiver always succeeds (loss probability below 1 makes
+  /// eventual delivery certain; the cap keeps simulations finite), so only
+  /// messages to dropped machines are ever abandoned.
+  int max_send_attempts = 8;
+
+  /// The failure detector excludes a dropped machine once its barrier scope
+  /// has stalled this multiple of the expected superstep span (work + L,
+  /// measured from the plan's start).
+  double failure_detector_multiple = 4.0;
+
+  /// Throws std::invalid_argument naming the offending field if any value is
+  /// out of range; called by ClusterSim on construction so an invalid params
+  /// struct fails loudly instead of producing nonsense timings.
   void validate() const;
 };
 

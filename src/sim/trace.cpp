@@ -15,6 +15,11 @@ const char* to_string(EventKind kind) noexcept {
     case EventKind::kRecvEnd: return "recv-end";
     case EventKind::kBarrierEnter: return "barrier-enter";
     case EventKind::kBarrierExit: return "barrier-exit";
+    case EventKind::kSlowdownStart: return "slowdown-start";
+    case EventKind::kSlowdownEnd: return "slowdown-end";
+    case EventKind::kMachineDrop: return "machine-drop";
+    case EventKind::kMessageLost: return "message-lost";
+    case EventKind::kRetry: return "retry";
   }
   return "?";
 }

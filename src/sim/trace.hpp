@@ -22,6 +22,12 @@ enum class EventKind : std::uint8_t {
   kRecvEnd,
   kBarrierEnter,
   kBarrierExit,
+  // Fault-injection events (faults::FaultInjector attached to the sim).
+  kSlowdownStart,  ///< a transient slowdown window opens; items = factor*1000
+  kSlowdownEnd,    ///< the window closes
+  kMachineDrop,    ///< the failure detector excluded `pid`
+  kMessageLost,    ///< a send attempt pid->peer vanished on the wire
+  kRetry,          ///< `pid` re-sends to `peer` after a loss timeout
 };
 
 [[nodiscard]] const char* to_string(EventKind kind) noexcept;

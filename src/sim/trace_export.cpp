@@ -29,13 +29,14 @@ const char* duration_name(EventKind kind) {
     case EventKind::kComputeStart: return "compute";
     case EventKind::kSendStart: return "send";
     case EventKind::kRecvStart: return "recv";
+    case EventKind::kSlowdownStart: return "slowdown";
     default: return nullptr;
   }
 }
 
 bool is_duration_end(EventKind kind) {
   return kind == EventKind::kComputeEnd || kind == EventKind::kSendEnd ||
-         kind == EventKind::kRecvEnd;
+         kind == EventKind::kRecvEnd || kind == EventKind::kSlowdownEnd;
 }
 
 }  // namespace
@@ -75,7 +76,10 @@ void export_chrome_trace(const Trace& trace, std::ostream& out) {
            ",\"ts\":" + std::to_string(us) + "}");
       open.erase(event.pid);
     } else if (event.kind == EventKind::kBarrierExit ||
-               event.kind == EventKind::kArrival) {
+               event.kind == EventKind::kArrival ||
+               event.kind == EventKind::kMachineDrop ||
+               event.kind == EventKind::kMessageLost ||
+               event.kind == EventKind::kRetry) {
       emit("{\"name\":\"" + std::string{to_string(event.kind)} +
            "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" +
            std::to_string(event.pid) + ",\"ts\":" + std::to_string(us) + "}");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace hbsp::util {
 
@@ -9,6 +10,14 @@ Summary summarize(std::span<const double> sample) noexcept {
   Accumulator acc;
   for (const double v : sample) acc.add(v);
   return acc.summary();
+}
+
+Summary summarize_nonempty(std::span<const double> sample) {
+  if (sample.empty()) {
+    throw std::invalid_argument{
+        "summarize_nonempty: empty sample (expected at least one measurement)"};
+  }
+  return summarize(sample);
 }
 
 double mean(std::span<const double> sample) noexcept {

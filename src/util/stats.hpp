@@ -19,6 +19,12 @@ struct Summary {
 /// Computes a Summary over the sample; returns a zeroed Summary when empty.
 [[nodiscard]] Summary summarize(std::span<const double> sample) noexcept;
 
+/// As summarize, but an empty sample is a caller bug: throws
+/// std::invalid_argument instead of silently returning zeros (a zeroed
+/// Summary is indistinguishable from a real all-zero sample). Use when the
+/// sample is supposed to be measurements that actually happened.
+[[nodiscard]] Summary summarize_nonempty(std::span<const double> sample);
+
 /// Arithmetic mean; 0 when empty.
 [[nodiscard]] double mean(std::span<const double> sample) noexcept;
 

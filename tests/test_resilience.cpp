@@ -1,0 +1,181 @@
+// Tests for degraded-mode re-planning: survivor-tree construction keeps the
+// model invariants (fastest survivor renormalised to r = 1 with absolute
+// costs preserved), fault plans remap onto restarted runs, and the
+// abort-and-restart loop completes collectives across machine drops.
+
+#include "collectives/resilience.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/topology.hpp"
+
+namespace hbsp::coll {
+namespace {
+
+constexpr double kG = 1e-6;
+constexpr double kL = 2e-3;
+
+/// A two-level machine: cluster A = {r=1, r=2}, cluster B = {r=2, r=4}.
+MachineTree two_clusters() {
+  MachineSpec root;
+  root.name = "campus";
+  root.sync_L = 4e-3;
+  MachineSpec a;
+  a.name = "A";
+  a.sync_L = kL;
+  for (const double r : {1.0, 2.0}) {
+    MachineSpec leaf;
+    leaf.name = "a" + std::to_string(static_cast<int>(r));
+    leaf.r = r;
+    a.children.push_back(std::move(leaf));
+  }
+  MachineSpec b;
+  b.name = "B";
+  b.sync_L = kL;
+  for (const double r : {2.0, 4.0}) {
+    MachineSpec leaf;
+    leaf.name = "b" + std::to_string(static_cast<int>(r));
+    leaf.r = r;
+    b.children.push_back(std::move(leaf));
+  }
+  root.children.push_back(std::move(a));
+  root.children.push_back(std::move(b));
+  return MachineTree::build(root, kG);
+}
+
+TEST(RemoveProcessors, RenormalisesSpeedsAndPreservesAbsoluteCosts) {
+  const MachineTree tree = make_paper_testbed(6, kG, kL);
+  const int fastest = tree.coordinator_pid(tree.root());
+  const std::array dead{fastest};
+  const SurvivorTree survivors = remove_processors(tree, dead);
+
+  ASSERT_EQ(survivors.tree.num_processors(), 5);
+  ASSERT_EQ(survivors.to_original.size(), 5u);
+  // The mapping skips the dead pid and stays in ascending pid order.
+  for (std::size_t i = 0; i + 1 < survivors.to_original.size(); ++i) {
+    EXPECT_LT(survivors.to_original[i], survivors.to_original[i + 1]);
+  }
+  for (const int original : survivors.to_original) {
+    EXPECT_NE(original, fastest);
+  }
+
+  // The fastest survivor is exactly 1 (x/x is exact in IEEE), and every
+  // survivor's absolute communication cost r·g is unchanged.
+  const MachineTree& st = survivors.tree;
+  EXPECT_EQ(st.processor_r(st.coordinator_pid(st.root())), 1.0);
+  for (int pid = 0; pid < st.num_processors(); ++pid) {
+    const int original = survivors.to_original[static_cast<std::size_t>(pid)];
+    EXPECT_DOUBLE_EQ(st.processor_r(pid) * st.g(),
+                     tree.processor_r(original) * tree.g());
+    EXPECT_DOUBLE_EQ(st.processor_compute_r(pid) * st.g(),
+                     tree.processor_compute_r(original) * tree.g());
+  }
+}
+
+TEST(RemoveProcessors, PrunesClustersLeftWithoutProcessors) {
+  const MachineTree tree = two_clusters();
+  // Kill all of cluster B (pids 2 and 3).
+  const std::array dead{2, 3};
+  const SurvivorTree survivors = remove_processors(tree, dead);
+  EXPECT_EQ(survivors.tree.num_processors(), 2);
+  EXPECT_EQ(survivors.tree.height(), 2);
+  EXPECT_EQ(survivors.tree.machines_at(1), 1);  // cluster B is gone
+  EXPECT_EQ(survivors.to_original, (std::vector<int>{0, 1}));
+}
+
+TEST(RemoveProcessors, RejectsTotalLossAndUnknownPids) {
+  const MachineTree tree = two_clusters();
+  const std::array all{0, 1, 2, 3};
+  EXPECT_THROW((void)remove_processors(tree, all), std::invalid_argument);
+  const std::array unknown{7};
+  EXPECT_THROW((void)remove_processors(tree, unknown), std::invalid_argument);
+}
+
+TEST(RemapFaultPlan, ShiftsClampsAndRenumbers) {
+  faults::FaultPlan plan;
+  plan.slowdowns.push_back({0, 1.0, 3.0, 2.0});  // straddles the restart
+  plan.slowdowns.push_back({2, 0.0, 1.5, 4.0});  // entirely in the past
+  plan.slowdowns.push_back({1, 2.5, 4.0, 3.0});  // pid 1 is dead: vanishes
+  plan.drops.push_back({2, 1.0});                // already due: fires at 0
+  plan.drops.push_back({0, 5.0});
+  plan.message_loss_probability = 0.1;
+  plan.loss_seed = 77;
+
+  // Survivors 0 and 2 (pid 1 removed) restarting 2 seconds in.
+  const std::array to_original{0, 2};
+  const faults::FaultPlan tail = remap_fault_plan(plan, 2.0, to_original);
+
+  ASSERT_EQ(tail.slowdowns.size(), 1u);
+  EXPECT_EQ(tail.slowdowns[0].pid, 0);
+  EXPECT_EQ(tail.slowdowns[0].begin, 0.0);  // clamped
+  EXPECT_EQ(tail.slowdowns[0].end, 1.0);
+  ASSERT_EQ(tail.drops.size(), 2u);
+  EXPECT_EQ(tail.drops[0].pid, 1);  // old pid 2 renumbered
+  EXPECT_EQ(tail.drops[0].time, 0.0);
+  EXPECT_EQ(tail.drops[1].pid, 0);
+  EXPECT_EQ(tail.drops[1].time, 3.0);
+  EXPECT_EQ(tail.message_loss_probability, 0.1);
+  // Fresh loss stream: the restart must not replay consumed decisions.
+  EXPECT_NE(tail.loss_seed, plan.loss_seed);
+  EXPECT_NO_THROW(tail.validate());
+}
+
+TEST(RunWithReplanning, EmptyPlanMatchesFaultFreeExactly) {
+  const MachineTree tree = make_paper_testbed(5, kG, kL);
+  const ResilienceReport report = run_with_replanning(
+      tree, CollectiveKind::kGather, 50000, sim::SimParams{}, {});
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.replans, 0u);
+  EXPECT_TRUE(report.excluded_pids.empty());
+  // Bit-identical, not merely close: the injection layer is cost-free when
+  // the plan is empty.
+  EXPECT_EQ(report.degraded_makespan, report.fault_free_makespan);
+  EXPECT_DOUBLE_EQ(report.inflation(), 1.0);
+}
+
+TEST(RunWithReplanning, DropTriggersExclusionReplanAndInflation) {
+  const MachineTree tree = make_paper_testbed(6, kG, kL);
+  const int fastest = tree.coordinator_pid(tree.root());
+  faults::FaultPlan plan;
+  plan.drops.push_back({fastest, 5e-3});
+  const ResilienceReport report = run_with_replanning(
+      tree, CollectiveKind::kGather, 125000, sim::SimParams{}, plan);
+  EXPECT_TRUE(report.completed);
+  EXPECT_GE(report.replans, 1u);
+  ASSERT_FALSE(report.excluded_pids.empty());
+  EXPECT_EQ(report.excluded_pids[0], fastest);  // reported in original ids
+  EXPECT_GT(report.degraded_makespan, report.fault_free_makespan);
+  EXPECT_GT(report.inflation(), 1.0);
+
+  const util::Table table = report.to_table("report");
+  EXPECT_EQ(table.columns(), 2u);
+  EXPECT_GT(table.rows(), 0u);
+}
+
+TEST(RunWithReplanning, CollectiveOnTwoMachinesCannotSurviveADrop) {
+  const MachineTree tree = make_hbsp1_cluster(std::array{1.0, 2.0}, kG, kL);
+  faults::FaultPlan plan;
+  plan.drops.push_back({1, 0.0});
+  const ResilienceReport report = run_with_replanning(
+      tree, CollectiveKind::kBroadcast, 10000, sim::SimParams{}, plan);
+  EXPECT_FALSE(report.completed);
+  EXPECT_EQ(report.excluded_pids, (std::vector<int>{1}));
+  EXPECT_GT(report.fault_free_makespan, 0.0);
+}
+
+TEST(RunWithReplanning, SurvivesCascadingDrops) {
+  const MachineTree tree = make_paper_testbed(6, kG, kL);
+  faults::FaultPlan plan;
+  plan.drops.push_back({0, 4e-3});
+  plan.drops.push_back({3, 6e-3});
+  const ResilienceReport report = run_with_replanning(
+      tree, CollectiveKind::kGather, 125000, sim::SimParams{}, plan);
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.excluded_pids.size(), 2u);
+  EXPECT_GE(report.replans, 1u);
+}
+
+}  // namespace
+}  // namespace hbsp::coll

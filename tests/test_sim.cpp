@@ -271,5 +271,20 @@ TEST(SimParams, ValidateRejectsBadValues) {
   EXPECT_NO_THROW(SimParams{}.validate());
 }
 
+TEST(SimParams, ValidateRejectsBadFaultTransportValues) {
+  SimParams p;
+  p.retry_timeout = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = SimParams{};
+  p.retry_backoff = 0.5;  // must not shrink: timeouts would vanish
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = SimParams{};
+  p.max_send_attempts = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = SimParams{};
+  p.failure_detector_multiple = 0.9;  // would fire before the barrier itself
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace hbsp::sim

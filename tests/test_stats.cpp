@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 namespace hbsp::util {
@@ -32,6 +33,29 @@ TEST(Summarize, SingleValue) {
   EXPECT_EQ(s.count, 1u);
   EXPECT_DOUBLE_EQ(s.mean, 7.5);
   EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(SummarizeNonempty, ThrowsOnEmptySample) {
+  EXPECT_THROW((void)summarize_nonempty({}), std::invalid_argument);
+}
+
+TEST(SummarizeNonempty, SingleReplicaHasZeroStddev) {
+  const std::vector<double> sample{3.25};
+  const Summary s = summarize_nonempty(sample);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.25);
+  EXPECT_DOUBLE_EQ(s.min, 3.25);
+  EXPECT_DOUBLE_EQ(s.max, 3.25);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(SummarizeNonempty, MatchesSummarizeOnNonEmptySamples) {
+  const std::vector<double> sample{1.0, 2.0, 3.0, 4.0};
+  const Summary a = summarize(sample);
+  const Summary b = summarize_nonempty(sample);
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.stddev, b.stddev);
 }
 
 TEST(Mean, MatchesSummary) {

@@ -10,6 +10,7 @@
 
 #include "collectives/planners.hpp"
 #include "core/topology.hpp"
+#include "faults/injector.hpp"
 #include "sim/cluster_sim.hpp"
 
 namespace hbsp::sim {
@@ -90,6 +91,37 @@ TEST(TraceExport, UnwritablePathThrows) {
   const Trace trace = recorded_trace();
   EXPECT_THROW(export_chrome_trace(trace, "/nonexistent/dir/trace.json"),
                std::runtime_error);
+}
+
+TEST(TraceExport, FaultEventKindsHaveNames) {
+  EXPECT_STREQ(to_string(EventKind::kSlowdownStart), "slowdown-start");
+  EXPECT_STREQ(to_string(EventKind::kSlowdownEnd), "slowdown-end");
+  EXPECT_STREQ(to_string(EventKind::kMachineDrop), "machine-drop");
+  EXPECT_STREQ(to_string(EventKind::kMessageLost), "message-lost");
+  EXPECT_STREQ(to_string(EventKind::kRetry), "retry");
+}
+
+TEST(TraceExport, FaultEventsRoundTripIntoChromeTrace) {
+  const MachineTree tree = make_paper_testbed(3);
+  faults::FaultPlan fault_plan;
+  fault_plan.slowdowns.push_back({1, 0.0, 1.0, 2.0});
+  fault_plan.drops.push_back({2, 1e-4});
+  fault_plan.message_loss_probability = 1.0;  // every non-final attempt lost
+  const faults::FaultInjector injector{fault_plan};
+  ClusterSim sim{tree, SimParams{}, /*record_events=*/true};
+  sim.set_fault_injector(&injector);
+  (void)sim.run(coll::plan_gather(tree, 1000, {}));
+
+  std::ostringstream out;
+  export_chrome_trace(sim.trace(), out);
+  const std::string json = out.str();
+  // The slowdown window exports as a duration slice, the rest as instants.
+  EXPECT_NE(json.find("\"name\":\"slowdown\""), std::string::npos);
+  EXPECT_NE(json.find("machine-drop"), std::string::npos);
+  EXPECT_NE(json.find("message-lost"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"retry\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"B\""),
+            count_occurrences(json, "\"ph\":\"E\""));
 }
 
 TEST(TraceExport, EmptyTraceExportsEmptyEventArrayPlusMetadata) {
