@@ -1,0 +1,175 @@
+// Perf snapshot driver: runs a fixed workload basket and emits
+// BENCH_<pr>.json — the machine-readable performance record the CI perf
+// gate (ci/perf_gate.sh) validates and diffs across PRs.
+//
+// The basket exercises every instrumented layer:
+//   fig3a / fig4a    the §5 root-placement sweeps (sim + planners + sweep)
+//   chaos            the fault-rate × loss grid (faults + retry transport)
+//   resilience       one degraded-mode re-planning run (advisor + replans)
+//   micro_sim        a BM-style loop re-running one gather schedule
+//   micro_planner    a BM-style loop re-planning gather/broadcast
+//   micro_advisor    a BM-style loop of full advise() calls
+//
+// Before each workload the global metrics registry is reset; after it the
+// merged snapshot plus the workload's wall-clock time goes into the JSON.
+// Counters are deterministic totals (byte-identical at any --threads);
+// gauges and histograms carry the wall-clock/scheduling side and are
+// reported, never gated.
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "collectives/advisor.hpp"
+#include "collectives/planners.hpp"
+#include "collectives/resilience.hpp"
+#include "core/topology.hpp"
+#include "experiments/chaos.hpp"
+#include "experiments/figures.hpp"
+#include "obs/export.hpp"
+#include "sim/cluster_sim.hpp"
+#include "obs/metrics.hpp"
+#include "util/cli.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace hbsp;
+
+struct WorkloadResult {
+  std::string name;
+  double wall_seconds = 0.0;
+  obs::MetricsSnapshot snapshot;
+};
+
+WorkloadResult run_workload(const std::string& name,
+                            const std::function<void()>& body) {
+  auto& registry = obs::Registry::global();
+  registry.reset();
+  const auto start = std::chrono::steady_clock::now();
+  body();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  WorkloadResult result;
+  result.name = name;
+  result.wall_seconds = wall;
+  result.snapshot = registry.snapshot();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli{argc, argv};
+  cli.allow("out", "output JSON path (default BENCH_3.json)")
+      .allow("pr", "PR number stamped into the snapshot (default 3)")
+      .allow("threads", "sweep worker threads (default 1)")
+      .allow("iters", "micro-loop iterations (default 40)")
+      .allow("table", "also print the per-workload metric tables");
+  cli.validate();
+
+  const std::string out_path = cli.get("out", "BENCH_3.json");
+  const auto pr = cli.get_int("pr", 3);
+  const int threads = static_cast<int>(cli.get_positive_int("threads", 1));
+  const auto iters = cli.get_positive_int("iters", 40);
+  const bool print_tables = cli.get_bool("table", false);
+
+  exp::SweepRunner runner{threads};
+  std::vector<WorkloadResult> results;
+
+  exp::FigureConfig fig;
+  fig.threads = threads;
+  results.push_back(run_workload(
+      "fig3a", [&] { (void)exp::gather_root_experiment(fig, runner); }));
+  results.push_back(run_workload(
+      "fig4a", [&] { (void)exp::broadcast_root_experiment(fig, runner); }));
+
+  exp::ChaosConfig chaos;
+  chaos.threads = threads;
+  results.push_back(
+      run_workload("chaos", [&] { (void)exp::chaos_sweep(chaos, runner); }));
+
+  results.push_back(run_workload("resilience", [&] {
+    // The chaos bench's demo scenario: drop the fastest machine mid-gather
+    // with 2% message loss, forcing at least one advisor re-plan round.
+    const MachineTree tree = make_paper_testbed(chaos.p, chaos.g, chaos.L);
+    faults::FaultPlan plan;
+    plan.drops.push_back({tree.coordinator_pid(tree.root()), 5e-3});
+    plan.message_loss_probability = 0.02;
+    plan.loss_seed = chaos.master_seed;
+    (void)coll::run_with_replanning(tree, coll::CollectiveKind::kGather,
+                                    util::ints_in_kbytes(chaos.kbytes),
+                                    chaos.sim, plan);
+  }));
+
+  results.push_back(run_workload("micro_sim", [&] {
+    const MachineTree tree = make_paper_testbed(10);
+    const CommSchedule schedule = coll::plan_gather(tree, 250000, {});
+    sim::ClusterSim sim{tree, sim::SimParams{}};
+    for (std::int64_t i = 0; i < iters; ++i) (void)sim.run(schedule);
+  }));
+
+  results.push_back(run_workload("micro_planner", [&] {
+    const MachineTree tree = make_paper_testbed(10);
+    for (std::int64_t i = 0; i < iters; ++i) {
+      (void)coll::plan_gather(tree, 250000, {});
+      (void)coll::plan_broadcast(tree, 250000, {});
+    }
+  }));
+
+  results.push_back(run_workload("micro_advisor", [&] {
+    const MachineTree tree = make_paper_testbed(8);
+    for (std::int64_t i = 0; i < iters; ++i) {
+      (void)coll::advise(tree, coll::CollectiveKind::kGather, 250000);
+      (void)coll::advise(tree, coll::CollectiveKind::kBroadcast, 250000);
+    }
+  }));
+
+  // Assemble BENCH_<pr>.json. Workload order is fixed by the basket above;
+  // every map inside a snapshot is name-sorted, so two runs with equal
+  // counters produce byte-identical "counters" objects.
+  std::string json = "{\n";
+  json += "  \"schema_version\": 1,\n";
+  json += "  \"bench\": \"perf_snapshot\",\n";
+  json += "  \"pr\": " + std::to_string(pr) + ",\n";
+  json += "  \"threads\": " + std::to_string(threads) + ",\n";
+  json += "  \"iters\": " + std::to_string(iters) + ",\n";
+  json += "  \"workloads\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const WorkloadResult& r = results[i];
+    json += "    {\n";
+    json += "      \"name\": \"" + obs::json_escape(r.name) + "\",\n";
+    json += "      \"wall_seconds\": " + obs::json_number(r.wall_seconds) +
+            ",\n";
+    json += "      \"metrics\": " + obs::snapshot_json(r.snapshot, 6) + "\n";
+    json += i + 1 < results.size() ? "    },\n" : "    }\n";
+  }
+  json += "  ]\n";
+  json += "}\n";
+
+  {
+    std::FILE* out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "perf_snapshot: cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+  }
+
+  if (print_tables) {
+    for (const WorkloadResult& r : results) {
+      obs::metrics_table(r.snapshot,
+                         r.name + " (" + obs::json_number(r.wall_seconds) +
+                             " s wall)")
+          .print();
+    }
+  }
+  std::printf("perf_snapshot: %zu workloads -> %s (threads=%d, iters=%lld)\n",
+              results.size(), out_path.c_str(), threads,
+              static_cast<long long>(iters));
+  return 0;
+}

@@ -1,58 +1,94 @@
 #!/usr/bin/env bash
-# CI gate: plain build + full ctest, then sanitizer builds + ctest to guard
-# the thread pool and the parallel sweep engine.
+# CI gate: plain build + full ctest, then sanitizer builds + the tier1 suite
+# to guard the thread pool, the parallel sweep engine and the metrics
+# registry.
 #
-#   ci/check.sh                 # plain + TSan + ASan/UBSan, full suite each
-#   SANITIZERS=thread ci/check.sh     # restrict the sanitizer passes
-#   JOBS=8 ci/check.sh                # parallel build/test width
+#   ci/check.sh                 # everything: plain + TSan + ASan/UBSan
+#   CONFIG=plain ci/check.sh    # one leg only (the GitHub Actions matrix
+#   CONFIG=tsan  ci/check.sh    #   runs each leg as its own job)
+#   CONFIG=asan  ci/check.sh
+#   JOBS=8 ci/check.sh          # parallel build/test width
 #
 # Each configuration builds into its own tree (build-ci, build-ci-tsan,
 # build-ci-asan) so the developer's ./build is never touched.
+#
+# Test tiers: every test is labelled tier1 or slow (tests/CMakeLists.txt).
+# The plain leg runs the full suite plus the end-to-end determinism and
+# golden-drift checks; the sanitizer legs run `ctest -L tier1` — instrumented
+# builds are ~10x slower and their value is concurrency coverage, which the
+# tier1 set (thread pool, sweep engine, obs registry) already provides.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
-SANITIZERS="${SANITIZERS:-thread address}"
+CONFIG="${CONFIG:-all}"
 
 run_suite() {
   local dir="$1"
-  shift
+  local label="$2"
+  shift 2
   echo "== configure ${dir} ($*)"
   cmake -B "${dir}" -S . "$@" >/dev/null
   echo "== build ${dir}"
   cmake --build "${dir}" -j "${JOBS}" >/dev/null
-  echo "== ctest ${dir}"
-  ctest --test-dir "${dir}" -j "${JOBS}" --output-on-failure
+  echo "== ctest ${dir}${label:+ (-L ${label})}"
+  ctest --test-dir "${dir}" -j "${JOBS}" --output-on-failure \
+    ${label:+-L "${label}"}
 }
 
-run_suite build-ci -DHBSPK_WERROR=ON
+plain_leg() {
+  run_suite build-ci "" -DHBSPK_WERROR=ON
 
-for sanitizer in ${SANITIZERS}; do
-  case "${sanitizer}" in
-    thread)  run_suite build-ci-tsan -DHBSP_SANITIZE=thread ;;
-    address) run_suite build-ci-asan -DHBSP_SANITIZE=address ;;
-    *) echo "unknown sanitizer '${sanitizer}'" >&2; exit 2 ;;
-  esac
-done
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
 
-# The headline determinism claim, end to end on the real binary: the Fig 3(a)
-# CSV must be byte-identical at 1 and 4 threads.
-fig3a=build-ci/bench/fig3a_gather_root
-tmp="$(mktemp -d)"
-trap 'rm -rf "${tmp}"' EXIT
-"${fig3a}" --threads 1 --csv "${tmp}/t1.csv" >/dev/null
-"${fig3a}" --threads 4 --csv "${tmp}/t4.csv" >/dev/null
-cmp "${tmp}/t1.csv" "${tmp}/t4.csv"
-echo "fig3a CSV byte-identical at 1 and 4 threads"
+  # The headline determinism claim, end to end on the real binary: the
+  # Fig 3(a) CSV must be byte-identical at 1 and 4 threads.
+  local fig3a=build-ci/bench/fig3a_gather_root
+  "${fig3a}" --threads 1 --csv "${tmp}/t1.csv" >/dev/null
+  "${fig3a}" --threads 4 --csv "${tmp}/t4.csv" >/dev/null
+  cmp "${tmp}/t1.csv" "${tmp}/t4.csv"
+  echo "fig3a CSV byte-identical at 1 and 4 threads"
 
-# Same claim for the fault-injection path: the chaos sweep draws every fault
-# plan from (master seed, grid position), so its CSV must also be
-# byte-identical at any thread count.
-chaos=build-ci/bench/chaos_sweep
-"${chaos}" --threads 1 --csv "${tmp}/c1.csv" >/dev/null
-"${chaos}" --threads 4 --csv "${tmp}/c4.csv" >/dev/null
-cmp "${tmp}/c1.csv" "${tmp}/c4.csv"
-echo "chaos_sweep CSV byte-identical at 1 and 4 threads"
+  # Same claim for the fault-injection path: the chaos sweep draws every
+  # fault plan from (master seed, grid position), so its CSV must also be
+  # byte-identical at any thread count.
+  local chaos=build-ci/bench/chaos_sweep
+  "${chaos}" --threads 1 --csv "${tmp}/c1.csv" >/dev/null
+  "${chaos}" --threads 4 --csv "${tmp}/c4.csv" >/dev/null
+  cmp "${tmp}/c1.csv" "${tmp}/c4.csv"
+  echo "chaos_sweep CSV byte-identical at 1 and 4 threads"
 
-echo "ci/check.sh: all green"
+  # Golden drift: regenerate every pinned CSV into a temp dir and diff
+  # against the committed files. A behaviour change that forgot to run
+  # ci/regen_goldens.sh (and review the new tables) fails here.
+  BUILD_DIR=build-ci OUT_DIR="${tmp}/golden" JOBS="${JOBS}" \
+    ci/regen_goldens.sh >/dev/null
+  local golden drift=0
+  for golden in tests/golden/*.csv; do
+    if ! diff -u "${golden}" "${tmp}/golden/$(basename "${golden}")"; then
+      drift=1
+    fi
+  done
+  if [ "${drift}" -ne 0 ]; then
+    echo "golden drift: regenerate with ci/regen_goldens.sh and commit" >&2
+    return 1
+  fi
+  echo "goldens match regenerated tables"
+}
+
+case "${CONFIG}" in
+  all)
+    plain_leg
+    run_suite build-ci-tsan tier1 -DHBSP_SANITIZE=thread
+    run_suite build-ci-asan tier1 -DHBSP_SANITIZE=address
+    ;;
+  plain) plain_leg ;;
+  tsan)  run_suite build-ci-tsan tier1 -DHBSP_SANITIZE=thread ;;
+  asan)  run_suite build-ci-asan tier1 -DHBSP_SANITIZE=address ;;
+  *) echo "unknown CONFIG '${CONFIG}' (want all|plain|tsan|asan)" >&2; exit 2 ;;
+esac
+
+echo "ci/check.sh: ${CONFIG} green"

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Compare the deterministic counters of two BENCH_*.json snapshots.
+
+The perf gate's drift check: per workload, the counter maps must match
+*exactly* (names and values). Wall-clock, gauges and histograms are
+machine-dependent and are deliberately ignored — timings are reported, never
+gated.
+
+Usage: ci/diff_bench_counters.py BASELINE.json CANDIDATE.json
+Exit 0 when every workload's counters match, 1 with a per-key diff otherwise.
+"""
+
+import json
+import sys
+
+
+def counters_by_workload(path):
+    with open(path) as f:
+        document = json.load(f)
+    return {w["name"]: w["metrics"]["counters"] for w in document["workloads"]}
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    baseline = counters_by_workload(argv[1])
+    candidate = counters_by_workload(argv[2])
+
+    drift = False
+    for name in sorted(set(baseline) | set(candidate)):
+        if name not in baseline:
+            print(f"workload {name!r}: only in {argv[2]}")
+            drift = True
+            continue
+        if name not in candidate:
+            print(f"workload {name!r}: only in {argv[1]}")
+            drift = True
+            continue
+        a, b = baseline[name], candidate[name]
+        if a == b:
+            continue
+        drift = True
+        print(f"workload {name!r}: counter drift")
+        for key in sorted(set(a) | set(b)):
+            if a.get(key) != b.get(key):
+                print(f"  {key}: {a.get(key)} -> {b.get(key)}")
+
+    if drift:
+        print(f"counter drift between {argv[1]} and {argv[2]}", file=sys.stderr)
+        return 1
+    print(f"counters identical across {len(baseline)} workloads")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# CI perf-regression gate: build Release, run the bench/perf_snapshot
+# workload basket, and fail on any drift in the deterministic counters.
+#
+#   ci/perf_gate.sh                    # validate + gate against BENCH_3.json
+#   UPDATE_BASELINE=1 ci/perf_gate.sh  # re-pin BENCH_3.json (then review+commit)
+#   JOBS=8 BUILD_DIR=build-ci-perf ci/perf_gate.sh
+#
+# What is gated and what is not:
+#   * counters   deterministic event totals (messages, plans, cells) —
+#                exact-match against the committed BENCH_<pr>.json, and
+#                byte-identical between --threads 1 and --threads 4
+#   * timings    wall_seconds, gauges, histograms — machine-dependent,
+#                reported in the snapshot but never compared
+#
+# The gate emits the fresh snapshot at ${SNAPSHOT_OUT} (default
+# BENCH_3.new.json) so CI can upload it as an artifact next to the baseline.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+BUILD_DIR="${BUILD_DIR:-build-ci-perf}"
+BASELINE="${BASELINE:-BENCH_3.json}"
+SNAPSHOT_OUT="${SNAPSHOT_OUT:-BENCH_3.new.json}"
+
+echo "== configure ${BUILD_DIR} (Release)"
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+echo "== build perf_snapshot"
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target perf_snapshot >/dev/null
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "${tmp}"' EXIT
+
+echo "== run workload basket (--threads 1)"
+"${BUILD_DIR}/bench/perf_snapshot" --threads 1 --out "${SNAPSHOT_OUT}"
+echo "== run workload basket (--threads 4)"
+"${BUILD_DIR}/bench/perf_snapshot" --threads 4 --out "${tmp}/t4.json"
+
+echo "== schema validation"
+python3 ci/validate_bench.py "${SNAPSHOT_OUT}" ci/bench_schema.json
+python3 ci/validate_bench.py "${tmp}/t4.json" ci/bench_schema.json
+
+echo "== thread-count determinism (counters at --threads 1 vs 4)"
+python3 ci/diff_bench_counters.py "${SNAPSHOT_OUT}" "${tmp}/t4.json"
+
+if [ "${UPDATE_BASELINE:-0}" = "1" ]; then
+  mv "${SNAPSHOT_OUT}" "${BASELINE}"
+  echo "baseline re-pinned: ${BASELINE} (review the diff and commit)"
+  exit 0
+fi
+
+if [ ! -f "${BASELINE}" ]; then
+  echo "missing baseline ${BASELINE}; run UPDATE_BASELINE=1 ci/perf_gate.sh" >&2
+  exit 1
+fi
+
+echo "== counter drift vs committed ${BASELINE}"
+python3 ci/diff_bench_counters.py "${BASELINE}" "${SNAPSHOT_OUT}"
+
+echo "ci/perf_gate.sh: all green"

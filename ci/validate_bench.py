@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_*.json perf snapshot against ci/bench_schema.json.
+
+Stdlib-only miniature JSON-Schema checker covering exactly the subset the
+bench schema uses: type, const, minimum, required, properties,
+additionalProperties (schema form), items, minItems. Unknown schema keywords
+are an error so the schema cannot silently rot.
+
+Usage: ci/validate_bench.py BENCH_3.json [schema.json]
+"""
+
+import json
+import sys
+
+KNOWN_KEYWORDS = {
+    "type", "const", "minimum", "required", "properties",
+    "additionalProperties", "items", "minItems",
+}
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+}
+
+
+class SchemaError(Exception):
+    pass
+
+
+def check(value, schema, path):
+    unknown = set(schema) - KNOWN_KEYWORDS
+    if unknown:
+        raise SchemaError(f"schema uses unsupported keywords {sorted(unknown)}")
+
+    if "const" in schema:
+        if value != schema["const"]:
+            fail(path, f"expected {schema['const']!r}, got {value!r}")
+        return
+
+    if "type" in schema:
+        expected = TYPES[schema["type"]]
+        ok = isinstance(value, expected)
+        if schema["type"] in ("number", "integer") and isinstance(value, bool):
+            ok = False  # bool is an int subclass; never a valid number here
+        if not ok:
+            fail(path, f"expected {schema['type']}, got {type(value).__name__}")
+
+    if "minimum" in schema and value < schema["minimum"]:
+        fail(path, f"{value} < minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        for name in schema.get("required", ()):
+            if name not in value:
+                fail(path, f"missing required key {name!r}")
+        properties = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for name, item in value.items():
+            if name in properties:
+                check(item, properties[name], f"{path}.{name}")
+            elif isinstance(extra, dict):
+                check(item, extra, f"{path}.{name}")
+            elif extra is False:
+                fail(path, f"unexpected key {name!r}")
+
+    if isinstance(value, list):
+        if len(value) < schema.get("minItems", 0):
+            fail(path, f"{len(value)} items < minItems {schema['minItems']}")
+        if "items" in schema:
+            for i, item in enumerate(value):
+                check(item, schema["items"], f"{path}[{i}]")
+
+
+def fail(path, message):
+    raise SchemaError(f"{path}: {message}")
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    schema_path = argv[2] if len(argv) == 3 else "ci/bench_schema.json"
+    with open(argv[1]) as f:
+        document = json.load(f)
+    with open(schema_path) as f:
+        schema = json.load(f)
+    try:
+        check(document, schema, "$")
+    except SchemaError as error:
+        print(f"{argv[1]}: INVALID — {error}", file=sys.stderr)
+        return 1
+    names = [w["name"] for w in document["workloads"]]
+    print(f"{argv[1]}: valid ({len(names)} workloads: {', '.join(names)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/cost_model.hpp"
+#include "obs/metrics.hpp"
 
 namespace hbsp::coll {
 namespace {
@@ -166,6 +167,12 @@ CollectiveAdvice advise(const MachineTree& tree, CollectiveKind kind,
       }
       break;
     }
+  }
+
+  {
+    auto& registry = obs::Registry::global();
+    registry.counter("coll.advise_calls").increment();
+    registry.counter("coll.candidates_evaluated").add(candidates.size());
   }
 
   CollectiveAdvice advice;

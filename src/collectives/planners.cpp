@@ -5,9 +5,19 @@
 #include <string>
 
 #include "core/workload.hpp"
+#include "obs/metrics.hpp"
 
 namespace hbsp::coll {
 namespace {
+
+/// Counts one planner invocation in the `coll.*` metric family (composed
+/// planners like allgather-tree also count their nested gather/broadcast —
+/// plans_built tallies planner calls, not emitted schedules).
+void note_plan(const std::string& kind) {
+  auto& registry = obs::Registry::global();
+  registry.counter("coll.plans_built").increment();
+  registry.counter("coll.plan." + kind).increment();
+}
 
 /// Per-node shares of n items, [level][index], computed by recursive
 /// member_shares splits from the root down.
@@ -137,6 +147,7 @@ int cluster_target(const MachineTree& tree, MachineId cluster, int root_pid) {
 
 CommSchedule plan_gather(const MachineTree& tree, std::size_t n,
                          const RootedOptions& options) {
+  note_plan("gather");
   const int root_pid = normalize_root(tree, options.root_pid);
   const auto shares = node_shares(tree, n, options.shares);
 
@@ -169,6 +180,7 @@ CommSchedule plan_gather(const MachineTree& tree, std::size_t n,
 
 CommSchedule plan_scatter(const MachineTree& tree, std::size_t n,
                           const RootedOptions& options) {
+  note_plan("scatter");
   const int root_pid = normalize_root(tree, options.root_pid);
   const auto shares = node_shares(tree, n, options.shares);
 
@@ -201,6 +213,7 @@ CommSchedule plan_scatter(const MachineTree& tree, std::size_t n,
 
 CommSchedule plan_broadcast(const MachineTree& tree, std::size_t n,
                             const BroadcastOptions& options) {
+  note_plan("broadcast");
   const int root_pid = normalize_root(tree, options.root_pid);
 
   CommSchedule schedule;
@@ -244,6 +257,7 @@ CommSchedule plan_broadcast(const MachineTree& tree, std::size_t n,
 
 CommSchedule plan_allgather(const MachineTree& tree, std::size_t n,
                             Shares shares) {
+  note_plan("allgather");
   detail::require_flat(tree, "plan_allgather");
   const analysis::Members members =
       analysis::cluster_members(tree, tree.root(), n, shares);
@@ -265,6 +279,7 @@ CommSchedule plan_allgather(const MachineTree& tree, std::size_t n,
 
 CommSchedule plan_reduce(const MachineTree& tree, std::size_t n,
                          const RootedOptions& options) {
+  note_plan("reduce");
   detail::require_flat(tree, "plan_reduce");
   const int root_pid = normalize_root(tree, options.root_pid);
   const analysis::Members members =
@@ -292,6 +307,7 @@ CommSchedule plan_reduce(const MachineTree& tree, std::size_t n,
 
 CommSchedule plan_allgather_tree(const MachineTree& tree, std::size_t n,
                                  Shares shares) {
+  note_plan("allgather_tree");
   if (tree.num_children(tree.root()) == 0) {
     throw std::invalid_argument{"plan_allgather_tree: single-processor machine"};
   }
@@ -308,6 +324,7 @@ CommSchedule plan_allgather_tree(const MachineTree& tree, std::size_t n,
 
 CommSchedule plan_reduce_tree(const MachineTree& tree, std::size_t n,
                               const RootedOptions& options) {
+  note_plan("reduce_tree");
   const int root_pid = normalize_root(tree, options.root_pid);
   if (tree.num_children(tree.root()) == 0) {
     throw std::invalid_argument{"plan_reduce_tree: single-processor machine"};
@@ -363,6 +380,7 @@ CommSchedule plan_reduce_tree(const MachineTree& tree, std::size_t n,
 }
 
 CommSchedule plan_scan(const MachineTree& tree, std::size_t n, Shares shares) {
+  note_plan("scan");
   detail::require_flat(tree, "plan_scan");
   const analysis::Members members =
       analysis::cluster_members(tree, tree.root(), n, shares);
@@ -401,6 +419,7 @@ CommSchedule plan_scan(const MachineTree& tree, std::size_t n, Shares shares) {
 
 CommSchedule plan_alltoall(const MachineTree& tree, std::size_t n,
                            Shares shares) {
+  note_plan("alltoall");
   detail::require_flat(tree, "plan_alltoall");
   const analysis::Members members =
       analysis::cluster_members(tree, tree.root(), n, shares);

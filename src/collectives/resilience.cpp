@@ -8,6 +8,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "sim/cluster_sim.hpp"
 #include "util/rng.hpp"
 
@@ -157,6 +158,7 @@ ResilienceReport run_with_replanning(const MachineTree& tree,
                                      const sim::SimParams& params,
                                      const faults::FaultPlan& plan) {
   plan.validate();
+  obs::Registry::global().counter("coll.resilience_runs").increment();
 
   ResilienceReport report;
   {
@@ -213,6 +215,7 @@ ResilienceReport run_with_replanning(const MachineTree& tree,
     const double detected = sim.makespan();
     elapsed += detected;
     ++report.replans;
+    obs::Registry::global().counter("coll.replans").increment();
     const std::vector<int> dead = sim.excluded_pids();
     for (const int pid : dead) {
       report.excluded_pids.push_back(

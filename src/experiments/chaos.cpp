@@ -4,6 +4,7 @@
 
 #include "collectives/planners.hpp"
 #include "core/topology.hpp"
+#include "obs/metrics.hpp"
 #include "sim/cluster_sim.hpp"
 #include "util/csv.hpp"
 #include "util/rng.hpp"
@@ -214,6 +215,13 @@ ChaosTable chaos_sweep(const ChaosConfig& config, SweepRunner& runner) {
         tree, coll::plan_broadcast(tree, n, from_slow), config.sim, &injector);
     table.broadcast_factor[row][col] = bcast_s / bcast_f;
   });
+  // The chaos grid shards through the pool directly (two collectives per
+  // cell), so it keeps its own cell accounting beside the sweep.* family.
+  auto& registry = obs::Registry::global();
+  registry.counter("chaos.grid_runs").increment();
+  registry.counter("chaos.cells").add(rows * cols);
+  registry.gauge("chaos.steals").set(
+      static_cast<double>(runner.pool().last_steals()));
   return table;
 }
 

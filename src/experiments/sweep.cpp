@@ -3,6 +3,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/csv.hpp"
 #include "util/units.hpp"
 
@@ -65,10 +66,10 @@ void write_improvement_csv(const ImprovementTable& table,
 
 util::Table SweepCounters::to_table(const std::string& title) const {
   util::Table table{title};
-  table.set_header({"threads", "cells", "wall", "cells/sec", "cell mean",
-                    "cell max"});
+  table.set_header({"threads", "cells", "steals", "wall", "cells/sec",
+                    "cell mean", "cell max"});
   table.add_row({std::to_string(threads), std::to_string(cells),
-                 util::format_time(wall_seconds),
+                 std::to_string(steals), util::format_time(wall_seconds),
                  util::Table::num(cells_per_second, 0),
                  util::format_time(cell_seconds.mean),
                  util::format_time(cell_seconds.max)});
@@ -102,17 +103,28 @@ ImprovementTable SweepRunner::run(
     c.seed = util::split_seed(grid.master_seed, index);
     const Clock::time_point cell_start = Clock::now();
     table.factor[c.row][c.col] = cell(c);
-    cell_seconds[index] = seconds_since(cell_start);
+    const double seconds = seconds_since(cell_start);
+    cell_seconds[index] = seconds;
+    // Recorded on the worker: each sweep thread fills its own shard.
+    obs::Registry::global().histogram("sweep.cell_seconds").record(seconds);
   });
 
   counters_.cells = count;
   counters_.threads = threads();
+  counters_.steals = pool_.last_steals();
   counters_.wall_seconds = seconds_since(start);
   counters_.cells_per_second =
       counters_.wall_seconds > 0.0
           ? static_cast<double>(count) / counters_.wall_seconds
           : 0.0;
   counters_.cell_seconds = util::summarize(cell_seconds);
+
+  auto& registry = obs::Registry::global();
+  registry.counter("sweep.runs").increment();
+  registry.counter("sweep.cells").add(count);
+  registry.gauge("sweep.threads").set(static_cast<double>(threads()));
+  registry.gauge("sweep.steals").set(static_cast<double>(counters_.steals));
+  registry.histogram("sweep.run_seconds").record(counters_.wall_seconds);
   return table;
 }
 

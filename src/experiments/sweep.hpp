@@ -72,6 +72,7 @@ void write_improvement_csv(const ImprovementTable& table,
 struct SweepCounters {
   std::size_t cells = 0;
   int threads = 1;
+  std::size_t steals = 0;      ///< cells executed by a thief worker
   double wall_seconds = 0.0;
   double cells_per_second = 0.0;
   util::Summary cell_seconds;  ///< per-cell wall clock distribution
@@ -90,7 +91,11 @@ class SweepRunner {
 
   /// Evaluates `cell` for every grid cell in parallel and assembles the
   /// table in grid order. `cell` must depend only on its SweepCell argument
-  /// (plus immutable config) — never on shared mutable state.
+  /// (plus immutable config) — never on shared mutable state. Run totals
+  /// land in the `sweep.*` metric family of obs::Registry::global():
+  /// counters sweep.runs / sweep.cells (deterministic), gauges
+  /// sweep.threads / sweep.steals, histograms sweep.cell_seconds /
+  /// sweep.run_seconds (wall clock, never gated).
   ImprovementTable run(const SweepGrid& grid,
                        const std::function<double(const SweepCell&)>& cell);
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace hbsp::faults {
@@ -57,6 +58,7 @@ FaultPlan make_chaos_plan(int num_processors, const ChaosOptions& options,
   if (num_processors < 1) {
     throw std::invalid_argument{"make_chaos_plan: need at least one processor"};
   }
+  obs::Registry::global().counter("faults.chaos_plans").increment();
   if (options.horizon <= 0.0 || options.slowdown_rate < 0.0 ||
       options.slowdown_max_factor <= 1.0 ||
       options.slowdown_max_duration <= 0.0 || options.drop_probability < 0.0 ||

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace hbsp::faults {
@@ -14,6 +15,13 @@ constexpr double kNever = std::numeric_limits<double>::infinity();
 
 FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
   plan_.validate();
+  // The injector's queries are pure and noexcept, so the faults path is
+  // tallied here: disturbances armed, not disturbances hit (the simulator
+  // counts hits — sim.slowdown_hits, sim.machines_excluded).
+  auto& registry = obs::Registry::global();
+  registry.counter("faults.injectors").increment();
+  registry.counter("faults.slowdown_windows").add(plan_.slowdowns.size());
+  registry.counter("faults.drops_scheduled").add(plan_.drops.size());
   int max_pid = -1;
   for (const SlowdownWindow& w : plan_.slowdowns) max_pid = std::max(max_pid, w.pid);
   for (const MachineDrop& d : plan_.drops) max_pid = std::max(max_pid, d.pid);

@@ -6,6 +6,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace hbsp::sim {
@@ -35,6 +36,7 @@ void ClusterSim::reset() {
   trace_.clear();
   network_.reset();
   plan_counter_ = 0;
+  tally_ = MetricsTally{};
   std::fill(excluded_.begin(), excluded_.end(), 0);
   excluded_pids_.clear();
   fault_stats_ = FaultStats{};
@@ -84,6 +86,9 @@ SimResult ClusterSim::run(const CommSchedule& schedule) {
     result.plan_timings.push_back(std::move(timings));
   }
   result.makespan = makespan();
+  auto& registry = obs::Registry::global();
+  registry.counter("sim.runs").increment();
+  registry.histogram("sim.run_makespan_seconds").record(result.makespan);
   return result;
 }
 
@@ -93,11 +98,36 @@ std::vector<PlanTiming> ClusterSim::execute_phase(const Phase& phase) {
   // Plans within a phase act on disjoint subtrees, so sequential processing
   // of the plan list is still concurrent execution in virtual time.
   for (const auto& plan : phase.plans) timings.push_back(execute_plan(plan));
+  flush_metrics();
   return timings;
+}
+
+void ClusterSim::flush_metrics() {
+  auto& registry = obs::Registry::global();
+  registry.counter("sim.phases").increment();
+  registry.counter("sim.plans").add(tally_.plans);
+  registry.counter("sim.ghost_plans").add(tally_.ghost_plans);
+  registry.counter("sim.send_attempts").add(tally_.send_attempts);
+  registry.counter("sim.messages_delivered").add(tally_.messages_delivered);
+  registry.counter("sim.messages_lost").add(tally_.messages_lost);
+  registry.counter("sim.retries").add(tally_.retries);
+  registry.counter("sim.machines_excluded").add(tally_.machines_excluded);
+  registry.counter("sim.barriers").add(tally_.barriers);
+  registry.counter("sim.barrier_stalls").add(tally_.barrier_stalls);
+  registry.counter("sim.slowdown_hits").add(tally_.slowdown_hits);
+  const std::size_t events = trace_.events_recorded();
+  registry.counter("sim.events").add(events - tally_.events_seen);
+  obs::Histogram wire = registry.histogram("sim.plan_wire_seconds");
+  for (const double s : tally_.plan_wire_seconds) wire.record(s);
+  obs::Histogram span = registry.histogram("sim.plan_span_seconds");
+  for (const double s : tally_.plan_span_seconds) span.record(s);
+  tally_ = MetricsTally{};
+  tally_.events_seen = events;
 }
 
 PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
   ++plan_counter_;
+  ++tally_.plans;
   const auto [first, last] = tree_->processor_range(plan.sync_scope);
   if (first >= last) throw std::logic_error{"execute_plan: empty scope"};
 
@@ -114,6 +144,7 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
     // Every scope member has dropped: the plan is a ghost. Nothing runs, no
     // barrier closes; the detector still flags the unreported corpses so the
     // re-planning layer learns about fully-dead clusters.
+    ++tally_.ghost_plans;
     double frozen = 0.0;
     for (int pid = first; pid < last; ++pid) {
       frozen = std::max(frozen, clock_[static_cast<std::size_t>(pid)]);
@@ -122,6 +153,7 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
       excluded_[slot] = 1;
       excluded_pids_.push_back(pid);
       ++fault_stats_.machines_excluded;
+      ++tally_.machines_excluded;
       trace_.record({clock_[slot], EventKind::kMachineDrop, pid, -1, 0,
                      plan.label});
     }
@@ -135,9 +167,10 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
   for (const auto& work : plan.compute) {
     const auto slot = static_cast<std::size_t>(work.pid);
     if (dead_at(work.pid, clock_[slot])) continue;
+    const double slow = fault_slow(work.pid, clock_[slot]);
+    if (slow != 1.0) ++tally_.slowdown_hits;
     const double seconds = work.ops * tree_->processor_compute_r(work.pid) *
-                           seconds_per_op_ * load_factor(work.pid) *
-                           fault_slow(work.pid, clock_[slot]);
+                           seconds_per_op_ * load_factor(work.pid) * slow;
     trace_.record({clock_[slot], EventKind::kComputeStart, work.pid, -1,
                    static_cast<std::size_t>(work.ops), plan.label});
     clock_[slot] += seconds;
@@ -162,6 +195,7 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
     }
   };
   std::map<int, std::vector<Arrival>> inbox;
+  double plan_wire_seconds = 0.0;
   // Shared-medium occupancy this superstep, accumulated per attempt (the
   // plan-level throughput bound applied at the closing barrier).
   std::map<std::size_t, double> busy_per_network;
@@ -183,15 +217,19 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
     int attempt = 1;
     double timeout = params_.retry_timeout;
     for (;;) {
+      ++tally_.send_attempts;
       if (attempt > 1) {
         ++fault_stats_.retries;
+        ++tally_.retries;
         trace_.record({clock_[slot], EventKind::kRetry, t.src_pid, t.dst_pid,
                        t.items, plan.label});
       }
+      const double send_slow = fault_slow(t.src_pid, clock_[slot]);
+      if (send_slow != 1.0) ++tally_.slowdown_hits;
       const double busy =
           (params_.o_send * r +
            tree_->g() * r * lambda * static_cast<double>(t.items)) *
-          load_factor(t.src_pid) * fault_slow(t.src_pid, clock_[slot]);
+          load_factor(t.src_pid) * send_slow;
       trace_.record({clock_[slot], EventKind::kSendStart, t.src_pid, t.dst_pid,
                      t.items, plan.label});
       clock_[slot] += busy;
@@ -209,6 +247,7 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
         const double wire =
             network_.wire_per_item(net.level) * static_cast<double>(t.items);
         stats.wire_seconds += wire;
+        plan_wire_seconds += wire;
         if (params_.model_wire_contention) {
           const auto key = static_cast<std::size_t>(net.level) * 100000u +
                            static_cast<std::size_t>(net.index);
@@ -228,9 +267,11 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
         trace_.record({arrival, EventKind::kArrival, t.dst_pid, t.src_pid,
                        t.items, plan.label});
         inbox[t.dst_pid].push_back({arrival, seq, t.src_pid, t.items, lambda});
+        ++tally_.messages_delivered;
         break;
       }
       ++fault_stats_.messages_lost;
+      ++tally_.messages_lost;
       trace_.record({arrival, EventKind::kMessageLost, t.dst_pid, t.src_pid,
                      t.items, plan.label});
       if (final_attempt) break;  // the receiver is gone; the sender gives up
@@ -252,14 +293,17 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
         // The receiver died between the wire and the drain: the payload is
         // lost with the machine.
         ++fault_stats_.messages_lost;
+        ++tally_.messages_lost;
         trace_.record({start, EventKind::kMessageLost, dst, a.src, a.items,
                        plan.label});
         continue;
       }
+      const double recv_slow = fault_slow(dst, start);
+      if (recv_slow != 1.0) ++tally_.slowdown_hits;
       const double busy =
           (params_.o_recv * r + params_.recv_ratio * tree_->g() * r * a.lambda *
                                     static_cast<double>(a.items)) *
-          load_factor(dst) * fault_slow(dst, start);
+          load_factor(dst) * recv_slow;
       trace_.record({start, EventKind::kRecvStart, dst, a.src, a.items,
                      plan.label});
       clock_[slot] = start + busy;
@@ -292,6 +336,7 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
   const double barrier_enter = std::max(timing.work_end, timing.wire_end);
   const double L = tree_->sync_L(plan.sync_scope);
   timing.barrier_exit = barrier_enter + L;
+  ++tally_.barriers;
   if (faults_ != nullptr && faults_->has_drops()) {
     bool newly_dropped = false;
     for (int pid = first; pid < last; ++pid) {
@@ -299,6 +344,7 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
       if (faults_->drop_time(pid) <= barrier_enter) newly_dropped = true;
     }
     if (newly_dropped) {
+      ++tally_.barrier_stalls;
       timing.barrier_exit =
           timing.start + params_.failure_detector_multiple *
                              (barrier_enter - timing.start + L);
@@ -310,6 +356,7 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
         excluded_[slot] = 1;
         excluded_pids_.push_back(pid);
         ++fault_stats_.machines_excluded;
+        ++tally_.machines_excluded;
         trace_.record({timing.barrier_exit, EventKind::kMachineDrop, pid, -1,
                        0, plan.label});
         // The corpse's clock freezes at its last sign of life.
@@ -326,6 +373,8 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
     trace_.record({timing.barrier_exit, EventKind::kBarrierExit, pid, -1, 0,
                    plan.label});
   }
+  tally_.plan_wire_seconds.push_back(plan_wire_seconds);
+  tally_.plan_span_seconds.push_back(timing.barrier_exit - timing.start);
   return timing;
 }
 

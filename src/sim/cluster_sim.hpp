@@ -116,6 +116,29 @@ class ClusterSim {
  private:
   PlanTiming execute_plan(const SuperstepPlan& plan);
 
+  /// Instrumentation accumulated while executing plans, flushed into
+  /// obs::Registry::global() once per phase (the `sim.*` counter family).
+  /// Local accumulation keeps the per-message hot path free of registry
+  /// lookups and binds the flush to whichever thread runs the phase — each
+  /// sweep worker writes its own shard, merged deterministically later.
+  struct MetricsTally {
+    std::size_t plans = 0;
+    std::size_t ghost_plans = 0;       ///< scopes where every member had died
+    std::size_t send_attempts = 0;     ///< includes every retry
+    std::size_t messages_delivered = 0;
+    std::size_t messages_lost = 0;
+    std::size_t retries = 0;
+    std::size_t machines_excluded = 0;
+    std::size_t barriers = 0;
+    std::size_t barrier_stalls = 0;    ///< barriers stretched by the detector
+    std::size_t slowdown_hits = 0;     ///< busy periods inside a fault window
+    std::size_t events_seen = 0;       ///< trace events already flushed
+    std::vector<double> plan_wire_seconds;  ///< wire occupancy per plan
+    std::vector<double> plan_span_seconds;  ///< start -> barrier exit per plan
+  };
+
+  void flush_metrics();
+
   /// Whether `pid` has dropped out by virtual time `at`.
   [[nodiscard]] bool dead_at(int pid, double at) const {
     return faults_ != nullptr && faults_->dropped_by(pid, at);
@@ -144,6 +167,7 @@ class ClusterSim {
   std::vector<char> excluded_;    ///< per pid: detector has excluded it
   std::vector<int> excluded_pids_;
   FaultStats fault_stats_;
+  MetricsTally tally_;
 };
 
 }  // namespace hbsp::sim

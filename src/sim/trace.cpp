@@ -25,6 +25,7 @@ const char* to_string(EventKind kind) noexcept {
 }
 
 void Trace::record(TraceEvent event) {
+  ++events_recorded_;
   if (record_events_) events_.push_back(std::move(event));
 }
 
@@ -62,6 +63,7 @@ void Trace::dump(std::ostream& out) const {
 
 void Trace::clear() {
   events_.clear();
+  events_recorded_ = 0;
   for (auto& s : pid_stats_) s = PidStats{};
 }
 

@@ -78,6 +78,11 @@ class Trace {
   [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
     return events_;
   }
+  /// Total record() calls since the last clear() — the number of simulator
+  /// events processed, counted whether or not the event list is kept.
+  [[nodiscard]] std::size_t events_recorded() const noexcept {
+    return events_recorded_;
+  }
   [[nodiscard]] const PidStats& pid_stats(int pid) const {
     return pid_stats_.at(static_cast<std::size_t>(pid));
   }
@@ -91,6 +96,7 @@ class Trace {
 
  private:
   bool record_events_;
+  std::size_t events_recorded_ = 0;
   std::vector<TraceEvent> events_;
   std::vector<PidStats> pid_stats_;
 };

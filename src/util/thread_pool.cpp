@@ -46,6 +46,7 @@ void ThreadPool::parallel_for(std::size_t count,
   // to mutate shards here because every worker is parked (working_ == 0).
   body_ = body;
   first_error_ = nullptr;
+  last_steals_.store(0, std::memory_order_relaxed);
   const std::size_t shard_count = shards_.size();
   const std::size_t base = count / shard_count;
   const std::size_t extra = count % shard_count;
@@ -89,12 +90,14 @@ void ThreadPool::worker_loop(std::size_t self) {
 
 void ThreadPool::run_shards(std::size_t self) {
   const std::size_t shard_count = shards_.size();
+  std::size_t stolen = 0;
   // Drain our own shard first, then sweep the others as a thief.
   for (std::size_t offset = 0; offset < shard_count; ++offset) {
     Shard& shard = shards_[(self + offset) % shard_count];
     for (;;) {
       const std::size_t i = shard.next.fetch_add(1, std::memory_order_relaxed);
       if (i >= shard.end) break;
+      if (offset != 0) ++stolen;
       try {
         body_(i);
       } catch (...) {
@@ -103,6 +106,7 @@ void ThreadPool::run_shards(std::size_t self) {
       }
     }
   }
+  if (stolen > 0) last_steals_.fetch_add(stolen, std::memory_order_relaxed);
 }
 
 }  // namespace hbsp::util

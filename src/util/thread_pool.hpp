@@ -53,6 +53,14 @@ class ThreadPool {
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& body);
 
+  /// Indices of the most recent parallel_for that were executed by a worker
+  /// other than the one whose shard owned them — the work-stealing traffic.
+  /// 0 for the inline serial pool. Nondeterministic by nature (scheduling
+  /// decides who steals), so report it as a gauge, never gate on it.
+  [[nodiscard]] std::size_t last_steals() const noexcept {
+    return last_steals_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// One contiguous index range per worker; `next` is shared with thieves.
   struct alignas(64) Shard {
@@ -64,6 +72,7 @@ class ThreadPool {
   void run_shards(std::size_t self);
 
   std::vector<Shard> shards_;
+  std::atomic<std::size_t> last_steals_{0};
   std::mutex submit_mutex_;  ///< serialises concurrent parallel_for callers
   std::mutex mutex_;
   std::condition_variable work_cv_;  ///< workers wait here for a new epoch
