@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
-# CI gate: plain build + full ctest, then sanitizer builds + the tier1 suite
-# to guard the thread pool, the parallel sweep engine and the metrics
-# registry.
+# CI gate: static analysis (hbsp-lint + clang-tidy), plain build + full
+# ctest, then sanitizer builds + the tier1 suite to guard the thread pool,
+# the parallel sweep engine and the metrics registry.
 #
-#   ci/check.sh                 # everything: plain + TSan + ASan/UBSan
+#   ci/check.sh                 # everything: lint + plain + all sanitizers
 #   CONFIG=plain ci/check.sh    # one leg only (the GitHub Actions matrix
 #   CONFIG=tsan  ci/check.sh    #   runs each leg as its own job)
 #   CONFIG=asan  ci/check.sh
+#   CONFIG=ubsan ci/check.sh    # standalone strict UBSan (no recover)
+#   CONFIG=lint  ci/check.sh    # hbsp-lint + clang-tidy-vs-baseline, no tests
 #   JOBS=8 ci/check.sh          # parallel build/test width
 #
 # Each configuration builds into its own tree (build-ci, build-ci-tsan,
-# build-ci-asan) so the developer's ./build is never touched.
+# build-ci-asan, build-ci-ubsan, build-ci-lint) so the developer's ./build
+# is never touched.
 #
 # Test tiers: every test is labelled tier1 or slow (tests/CMakeLists.txt).
 # The plain leg runs the full suite plus the end-to-end determinism and
@@ -23,6 +26,25 @@ cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 CONFIG="${CONFIG:-all}"
+
+# Static analysis: the hbsp-lint layering DAG + determinism rules always
+# run (stdlib python3 only); the clang-tidy differential gate runs when a
+# clang-tidy binary is available (CI installs one; run_clang_tidy.py skips
+# cleanly otherwise). JSON findings land in build-ci-lint/lint-report/ so CI
+# can upload them as an artifact.
+lint_leg() {
+  local report_dir=build-ci-lint/lint-report
+  mkdir -p "${report_dir}"
+
+  echo "== hbsp-lint (layering DAG + determinism zones)"
+  python3 tools/hbsp_lint/hbsp_lint.py --json "${report_dir}/hbsp_lint.json"
+
+  echo "== clang-tidy vs committed baseline"
+  cmake -B build-ci-lint -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  python3 tools/hbsp_lint/run_clang_tidy.py \
+    --build-dir build-ci-lint --jobs "${JOBS}" \
+    --json "${report_dir}/clang_tidy.json"
+}
 
 run_suite() {
   local dir="$1"
@@ -81,14 +103,21 @@ plain_leg() {
 
 case "${CONFIG}" in
   all)
+    lint_leg
     plain_leg
     run_suite build-ci-tsan tier1 -DHBSP_SANITIZE=thread
     run_suite build-ci-asan tier1 -DHBSP_SANITIZE=address
+    run_suite build-ci-ubsan tier1 -DHBSP_SANITIZE=undefined
     ;;
+  lint)  lint_leg ;;
   plain) plain_leg ;;
   tsan)  run_suite build-ci-tsan tier1 -DHBSP_SANITIZE=thread ;;
   asan)  run_suite build-ci-asan tier1 -DHBSP_SANITIZE=address ;;
-  *) echo "unknown CONFIG '${CONFIG}' (want all|plain|tsan|asan)" >&2; exit 2 ;;
+  ubsan) run_suite build-ci-ubsan tier1 -DHBSP_SANITIZE=undefined ;;
+  *)
+    echo "unknown CONFIG '${CONFIG}' (want all|lint|plain|tsan|asan|ubsan)" >&2
+    exit 2
+    ;;
 esac
 
 echo "ci/check.sh: ${CONFIG} green"

@@ -14,7 +14,9 @@
 #                reported in the snapshot but never compared
 #
 # The gate emits the fresh snapshot at ${SNAPSHOT_OUT} (default
-# BENCH_3.new.json) so CI can upload it as an artifact next to the baseline.
+# ${BUILD_DIR}/BENCH_3.new.json — inside the build tree, so a local run
+# never drops files at the repo root) and CI uploads it as an artifact next
+# to the baseline.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,7 +24,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 BUILD_DIR="${BUILD_DIR:-build-ci-perf}"
 BASELINE="${BASELINE:-BENCH_3.json}"
-SNAPSHOT_OUT="${SNAPSHOT_OUT:-BENCH_3.new.json}"
+SNAPSHOT_OUT="${SNAPSHOT_OUT:-${BUILD_DIR}/BENCH_3.new.json}"
 
 echo "== configure ${BUILD_DIR} (Release)"
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null

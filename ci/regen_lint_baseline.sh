@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Re-pin the clang-tidy suppression baseline, analogous to regen_goldens.sh:
+# configure a compile-commands build, run the full check set, and rewrite
+# tools/hbsp_lint/clang_tidy_baseline.txt with every current fingerprint
+# (then review the diff and commit).
+#
+#   ci/regen_lint_baseline.sh
+#   BUILD_DIR=build-ci-lint JOBS=8 ci/regen_lint_baseline.sh
+#   CLANG_TIDY=clang-tidy-18 ci/regen_lint_baseline.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-ci-lint}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+
+python3 tools/hbsp_lint/run_clang_tidy.py \
+  --build-dir "${BUILD_DIR}" --jobs "${JOBS}" --update-baseline
+
+git --no-pager diff --stat -- tools/hbsp_lint/clang_tidy_baseline.txt || true

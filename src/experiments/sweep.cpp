@@ -10,6 +10,9 @@
 namespace hbsp::exp {
 namespace {
 
+// hbsp-lint: allow(wall-clock) SweepRunner cell timers feed the
+// cell_seconds gauge/histogram only — instrumentation that is reported but
+// never compared, so it cannot break cross-thread-count byte identity.
 using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {

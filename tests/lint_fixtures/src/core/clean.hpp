@@ -1,0 +1,7 @@
+#pragma once
+// Fixture: clean core-layer header.
+#include "util/clean.hpp"
+
+namespace fixture {
+inline double double_cost(double c) { return 2.0 * c; }
+}  // namespace fixture

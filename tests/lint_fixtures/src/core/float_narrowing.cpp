@@ -1,0 +1,6 @@
+// Fixture: float in cost arithmetic inside a deterministic zone — costs
+// stay in double end to end.
+double fixture_float_narrowing(double g, double latency) {
+  float narrowed = static_cast<float>(g * latency);  // expect: float-narrowing
+  return static_cast<double>(narrowed);
+}

@@ -1,0 +1,3 @@
+#pragma once
+// Fixture: clean obs-layer header (target of sim's undeclared edge).
+#include "util/clean.hpp"

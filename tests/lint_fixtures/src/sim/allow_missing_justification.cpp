@@ -1,0 +1,9 @@
+// Fixture: an allow pragma with no justification is itself a finding, and
+// the violation it fails to cover is still flagged.
+#include <random>
+
+unsigned fixture_unjustified() {
+  // hbsp-lint: allow(random-device)
+  std::random_device rd;  // expect: allow-missing-justification + random-device
+  return rd();
+}

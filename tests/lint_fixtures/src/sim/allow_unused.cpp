@@ -1,0 +1,7 @@
+// Fixture: an allow pragma that suppresses nothing must be reported, so
+// stale escapes cannot accumulate.
+int fixture_allow_unused() {
+  // hbsp-lint: allow(c-rand) fixture: stale justification, nothing below
+  int x = 7;  // expect: allow-unused (reported at the pragma line)
+  return x;
+}

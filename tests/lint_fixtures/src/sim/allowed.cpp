@@ -1,0 +1,10 @@
+// Fixture: a justified allow pragma — the wall-clock read below must be
+// counted as allowed, not flagged.
+#include <chrono>
+
+double fixture_allowed_instrumentation() {
+  // hbsp-lint: allow(wall-clock) fixture: cell timer feeding a gauge that
+  // is reported but never compared
+  auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}

@@ -1,0 +1,7 @@
+// Fixture: C global-state RNG inside a deterministic zone.
+#include <cstdlib>
+
+int fixture_c_rand() {
+  srand(42);          // expect: c-rand
+  return rand() % 7;  // expect: c-rand
+}

@@ -1,0 +1,17 @@
+#pragma once
+// Fixture: a clean deterministic-zone header — no finding expected.
+#include <map>
+#include <vector>
+
+#include "core/clean.hpp"
+#include "util/clean.hpp"
+
+namespace fixture {
+
+inline double accumulate_cost(const std::vector<double>& costs) {
+  double total = 0.0;
+  for (const double c : costs) total += c;
+  return total;
+}
+
+}  // namespace fixture

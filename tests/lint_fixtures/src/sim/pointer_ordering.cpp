@@ -1,0 +1,16 @@
+// Fixture: ordering by pointer value in a deterministic zone — the order
+// depends on the allocator, so plans built from it differ run to run.
+#include <cstdint>
+#include <map>
+
+struct Node {
+  int id;
+};
+
+std::size_t fixture_pointer_ordering(Node* a, Node* b) {
+  std::map<Node*, int> rank;                    // expect: pointer-ordering
+  rank[a] = 0;
+  rank[b] = 1;
+  auto key = reinterpret_cast<std::uintptr_t>(a);  // expect: pointer-ordering
+  return rank.size() + static_cast<std::size_t>(key % 2);
+}

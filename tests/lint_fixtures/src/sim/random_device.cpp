@@ -1,0 +1,7 @@
+// Fixture: nondeterministic seeding inside a deterministic zone.
+#include <random>
+
+unsigned fixture_random_device() {
+  std::random_device rd;  // expect: random-device
+  return rd();
+}

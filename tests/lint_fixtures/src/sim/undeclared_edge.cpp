@@ -1,0 +1,6 @@
+// Fixture: sim includes obs, which exists but is not a declared dep of sim
+// — an undeclared layering edge (not a back-edge: obs does not depend on
+// sim).
+#include "obs/clean.hpp"  // expect: layering (undeclared edge)
+
+int fixture_undeclared_edge() { return 0; }

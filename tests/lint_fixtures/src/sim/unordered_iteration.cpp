@@ -1,0 +1,18 @@
+// Fixture: unordered-container use in a deterministic zone — iteration
+// order depends on hashing and address layout.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+double fixture_unordered() {
+  std::unordered_map<std::string, double> costs;  // expect: unordered-container
+  std::unordered_set<int> seen;                   // expect: unordered-container
+  costs["a"] = 1.0;
+  seen.insert(1);
+  double total = 0.0;
+  for (const auto& [key, value] : costs) {
+    (void)key;
+    total += value;
+  }
+  return total + static_cast<double>(seen.size());
+}

@@ -1,0 +1,18 @@
+// Fixture: wall-clock reads inside a deterministic zone. Member calls
+// (ctx.time()) and identifiers merely containing "time" (drop_time,
+// time_since_epoch) must NOT be flagged — only free calls to ::time() and
+// the std::chrono clocks. (Fixtures are linted, never compiled.)
+#include <chrono>
+#include <ctime>
+
+struct Ctx;
+
+double fixture_wall_clock(const Ctx& ctx) {
+  auto t0 = std::chrono::steady_clock::now();   // expect: wall-clock
+  auto t1 = std::chrono::system_clock::now();   // expect: wall-clock
+  std::time_t raw = time(nullptr);              // expect: wall-clock
+  // No finding on any of these: member access and time-containing names.
+  double ok = ctx.time() + ctx->drop_time(3) + t0.time_since_epoch().count();
+  (void)t1;
+  return ok + static_cast<double>(raw);
+}

@@ -1,0 +1,4 @@
+// Fixture: the leaf layer reaching up into sim — a layering back-edge.
+#include "sim/clean.hpp"  // expect: layering (back-edge)
+
+int fixture_back_edge() { return 0; }

@@ -1,0 +1,5 @@
+#pragma once
+// Fixture: clean leaf-layer header.
+namespace fixture {
+inline int identity(int x) { return x; }
+}  // namespace fixture

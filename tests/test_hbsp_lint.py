@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""ctest tier1 suite for tools/hbsp_lint (stdlib unittest, no gtest).
+
+Covers, against the fixture tree in tests/lint_fixtures/:
+  * every determinism rule flags its known-bad fixture at the right line
+  * layering back-edges and undeclared edges are both flagged
+  * clean fixture files produce no findings
+  * the allow() escape hatch suppresses + is counted; missing justification
+    and unused pragmas are themselves findings
+  * exit codes (0 clean, 1 findings, 2 bad config/usage) and the JSON report
+  * the real repository lints clean with its committed layers.toml
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO = pathlib.Path(
+    os.environ.get("HBSPK_SOURCE_DIR", pathlib.Path(__file__).parents[1])
+).resolve()
+LINTER = REPO / "tools" / "hbsp_lint" / "hbsp_lint.py"
+FIXTURES = REPO / "tests" / "lint_fixtures"
+
+
+def run_lint(*extra, root=FIXTURES, config=FIXTURES / "layers.toml"):
+    cmd = [sys.executable, str(LINTER), "--root", str(root)]
+    if config is not None:
+        cmd += ["--config", str(config)]
+    cmd += list(extra)
+    return subprocess.run(cmd, capture_output=True, text=True, check=False)
+
+
+def report_from(*extra, **kwargs):
+    with tempfile.TemporaryDirectory() as tmp:
+        out = pathlib.Path(tmp) / "report.json"
+        proc = run_lint("--json", str(out), "--quiet", *extra, **kwargs)
+        return proc, json.loads(out.read_text())
+
+
+class FixtureFindings(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        cls.proc, cls.report = report_from()
+        cls.findings = cls.report["findings"]
+
+    def by_rule(self, rule):
+        return [f for f in self.findings if f["rule"] == rule]
+
+    def expect(self, rule, filename, line):
+        hits = [f for f in self.by_rule(rule)
+                if f["file"].endswith(filename) and f["line"] == line]
+        self.assertEqual(
+            len(hits), 1,
+            f"expected one {rule} finding at {filename}:{line}, got "
+            f"{self.by_rule(rule)}")
+
+    def test_exit_code_is_one_on_findings(self):
+        self.assertEqual(self.proc.returncode, 1)
+
+    def test_layering_back_edge(self):
+        self.expect("layering", "src/util/back_edge.cpp", 2)
+        back = [f for f in self.by_rule("layering")
+                if "back_edge.cpp" in f["file"]]
+        self.assertIn("back-edge", back[0]["message"])
+
+    def test_layering_undeclared_edge(self):
+        self.expect("layering", "src/sim/undeclared_edge.cpp", 4)
+        edge = [f for f in self.by_rule("layering")
+                if "undeclared_edge.cpp" in f["file"]]
+        self.assertIn("undeclared edge", edge[0]["message"])
+
+    def test_random_device(self):
+        self.expect("random-device", "src/sim/random_device.cpp", 5)
+
+    def test_c_rand(self):
+        self.expect("c-rand", "src/sim/c_rand.cpp", 5)
+        self.expect("c-rand", "src/sim/c_rand.cpp", 6)
+
+    def test_wall_clock(self):
+        for line in (11, 12, 13):
+            self.expect("wall-clock", "src/sim/wall_clock.cpp", line)
+        # Member calls / time-containing identifiers never flagged.
+        self.assertEqual(
+            [f["line"] for f in self.by_rule("wall-clock")
+             if "wall_clock.cpp" in f["file"]], [11, 12, 13])
+
+    def test_unordered_container(self):
+        lines = sorted(f["line"] for f in self.by_rule("unordered-container"))
+        self.assertEqual(lines, [4, 5, 8, 9])
+
+    def test_pointer_ordering(self):
+        self.expect("pointer-ordering", "src/sim/pointer_ordering.cpp", 11)
+        self.expect("pointer-ordering", "src/sim/pointer_ordering.cpp", 14)
+
+    def test_float_narrowing(self):
+        self.expect("float-narrowing", "src/core/float_narrowing.cpp", 4)
+
+    def test_clean_files_have_no_findings(self):
+        for f in self.findings:
+            self.assertNotIn("clean.", f["file"],
+                             f"clean fixture flagged: {f}")
+
+    def test_allow_is_counted_not_flagged(self):
+        flagged = [f for f in self.findings if "allowed.cpp" in f["file"]]
+        self.assertEqual(flagged, [])
+        allowed = [a for a in self.report["allowed"]
+                   if "allowed.cpp" in a["file"]]
+        self.assertEqual(len(allowed), 1)
+        self.assertEqual(allowed[0]["rule"], "wall-clock")
+        self.assertTrue(allowed[0]["justification"])
+
+    def test_allow_missing_justification(self):
+        self.expect("allow-missing-justification",
+                    "src/sim/allow_missing_justification.cpp", 6)
+        # ...and the violation it failed to cover is still flagged.
+        self.expect("random-device",
+                    "src/sim/allow_missing_justification.cpp", 7)
+
+    def test_allow_unused(self):
+        self.expect("allow-unused", "src/sim/allow_unused.cpp", 4)
+
+    def test_summary_consistent(self):
+        summary = self.report["summary"]
+        self.assertEqual(summary["findings"], len(self.findings))
+        self.assertEqual(summary["allowed"], len(self.report["allowed"]))
+        self.assertGreaterEqual(summary["files_scanned"], 10)
+
+
+class RuleSelection(unittest.TestCase):
+    def test_layering_only(self):
+        _, report = report_from("--rules", "layering")
+        rules = {f["rule"] for f in report["findings"]}
+        self.assertEqual(rules, {"layering"})
+
+    def test_single_determinism_rule(self):
+        _, report = report_from("--rules", "random-device")
+        rules = {f["rule"] for f in report["findings"]}
+        # Pragma hygiene (allow-*) is checked whenever the determinism
+        # scanner runs; no other determinism rule may fire.
+        self.assertIn("random-device", rules)
+        self.assertLessEqual(
+            rules, {"random-device", "allow-missing-justification",
+                    "allow-unused", "allow-unknown-rule"})
+
+    def test_unknown_rule_is_usage_error(self):
+        proc = run_lint("--rules", "no-such-rule")
+        self.assertEqual(proc.returncode, 2)
+
+
+class ExitCodes(unittest.TestCase):
+    def test_clean_tree_exits_zero(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = pathlib.Path(tmp)
+            (root / "src" / "util").mkdir(parents=True)
+            (root / "src" / "util" / "ok.cpp").write_text(
+                "int ok() { return 1; }\n")
+            proc = run_lint(root=root, config=FIXTURES / "layers.toml")
+            self.assertEqual(proc.returncode, 0)
+
+    def test_cyclic_config_is_config_error(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = pathlib.Path(tmp)
+            (root / "src" / "a").mkdir(parents=True)
+            bad = root / "layers.toml"
+            bad.write_text('[modules]\na = ["b"]\nb = ["a"]\n')
+            proc = run_lint(root=root, config=bad)
+            self.assertEqual(proc.returncode, 2)
+            self.assertIn("cycle", proc.stderr)
+
+    def test_missing_src_is_usage_error(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            proc = run_lint(root=pathlib.Path(tmp))
+            self.assertEqual(proc.returncode, 2)
+
+
+class RealRepository(unittest.TestCase):
+    def test_repo_lints_clean_with_committed_config(self):
+        proc, report = report_from(root=REPO, config=None)
+        self.assertEqual(
+            proc.returncode, 0,
+            "committed tree must lint clean:\n" + proc.stderr)
+        self.assertEqual(report["summary"]["findings"], 0)
+        # The one sanctioned allow: SweepRunner's cell timer.
+        allowed_files = {pathlib.Path(a["file"]).name
+                         for a in report["allowed"]}
+        self.assertIn("sweep.cpp", allowed_files)
+
+    def test_seeded_violation_fails(self):
+        """The acceptance criterion: a back-edge include or random_device
+        planted in src/sim must fail the lint with file:line output. Runs
+        on a temp copy of src/ so the working tree is never touched."""
+        import shutil
+        with tempfile.TemporaryDirectory() as tmp:
+            root = pathlib.Path(tmp)
+            shutil.copytree(REPO / "src", root / "src")
+            victim = root / "src" / "sim" / "network.cpp"
+            victim.write_text(
+                victim.read_text() + '\n#include "experiments/sweep.hpp"\n'
+                "static unsigned seeded() { std::random_device rd; "
+                "return rd(); }\n")
+            proc = run_lint(
+                root=root,
+                config=REPO / "tools" / "hbsp_lint" / "layers.toml")
+            self.assertEqual(proc.returncode, 1)
+            self.assertIn("network.cpp", proc.stderr)
+            self.assertIn("back-edge", proc.stderr)
+            self.assertIn("random_device", proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,0 +1,433 @@
+#!/usr/bin/env python3
+"""hbsp-lint: project-specific static analysis for the HBSP^k tree.
+
+Two rule families, independently invocable (stdlib-only, like
+ci/validate_bench.py):
+
+  layering      parse `#include "module/..."` edges across src/ and enforce
+                the module dependency DAG declared in layers.toml. Back-edges
+                (the target layer already depends on the source layer) and
+                undeclared edges both fail, with file:line diagnostics.
+
+  determinism   inside the declared determinism zones, ban constructs that
+                silently break the bit-identical-across-thread-counts
+                guarantee: std::random_device, C rand()/srand(), wall-clock
+                reads, unordered_map/unordered_set (iteration order varies by
+                libc++ and address layout), pointer-value ordering, and
+                `float` in cost arithmetic (double everywhere, or narrowing
+                truncates differently across FPU settings).
+
+Escape hatch, counted and reported, justification mandatory:
+
+    // hbsp-lint: allow(wall-clock) SweepRunner cell timers are
+    //                              instrumentation, never compared
+
+An allow pragma suppresses its rule on the same line and on the next code
+line, so it can sit above the offending statement.
+
+Usage:
+  tools/hbsp_lint/hbsp_lint.py                      # both families, src/
+  tools/hbsp_lint/hbsp_lint.py --rules layering
+  tools/hbsp_lint/hbsp_lint.py --rules determinism
+  tools/hbsp_lint/hbsp_lint.py --json report.json
+  tools/hbsp_lint/hbsp_lint.py --root DIR --config layers.toml   # fixtures
+
+Exit codes: 0 clean, 1 findings, 2 bad usage / bad config.
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+import tomllib
+
+RULE_FAMILIES = ("layering", "determinism")
+
+# Determinism rules: id -> (compiled regex, message). Applied to code text
+# only (comments and string literals are stripped first). The wall-clock
+# pattern uses a lookbehind so member calls (`ctx.time()`) and identifiers
+# ending in `time` (`drop_time(`) don't false-positive.
+DETERMINISM_RULES = {
+    "random-device": (
+        re.compile(r"\brandom_device\b"),
+        "std::random_device is nondeterministic; derive streams from the "
+        "master seed via util::split_seed",
+    ),
+    "c-rand": (
+        re.compile(r"(?<![\w.>])s?rand\s*\("),
+        "C rand()/srand() is hidden global state; use util::rng seeded "
+        "streams",
+    ),
+    "wall-clock": (
+        re.compile(
+            r"(?<![\w.>])time\s*\(|\bsystem_clock\b|\bsteady_clock\b"
+            r"|\bhigh_resolution_clock\b|\bgettimeofday\b|\bclock_gettime\b"
+            r"|\bstd::clock\b"
+        ),
+        "wall-clock read in a deterministic zone; simulated time comes from "
+        "the virtual clock (allow only for instrumentation that is never "
+        "compared)",
+    ),
+    "unordered-container": (
+        re.compile(r"\bunordered_(?:multi)?(?:map|set)\b"),
+        "unordered containers iterate in address-dependent order; use "
+        "std::map/std::set or a sorted vector",
+    ),
+    "pointer-ordering": (
+        re.compile(
+            r"std::less<[^<>]*\*\s*>|\buintptr_t\b|\bintptr_t\b"
+            r"|std::(?:map|set)<\s*[\w:]+\s*\*"
+        ),
+        "ordering by pointer value depends on the allocator; key on a stable "
+        "id instead",
+    ),
+    "float-narrowing": (
+        re.compile(r"\bfloat\b"),
+        "cost arithmetic stays in double; float narrowing truncates "
+        "differently across FPU modes",
+    ),
+}
+
+ALLOW_RE = re.compile(r"hbsp-lint:\s*allow\(([\w-]+)\)\s*(.*)")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+STRING_RE = re.compile(
+    r"\"(?:[^\"\\\n]|\\.)*\"|'(?:[^'\\\n]|\\.)*'"
+)
+
+
+class ConfigError(Exception):
+    pass
+
+
+def load_config(path):
+    try:
+        with open(path, "rb") as fh:
+            raw = tomllib.load(fh)
+    except (OSError, tomllib.TOMLDecodeError) as exc:
+        raise ConfigError(f"{path}: {exc}") from exc
+    modules = raw.get("modules")
+    if not isinstance(modules, dict) or not modules:
+        raise ConfigError(f"{path}: missing [modules] table")
+    for name, deps in modules.items():
+        if not isinstance(deps, list):
+            raise ConfigError(f"{path}: modules.{name} must be a list")
+        for dep in deps:
+            if dep not in modules:
+                raise ConfigError(
+                    f"{path}: modules.{name} depends on undeclared "
+                    f"module '{dep}'"
+                )
+        if name in deps:
+            raise ConfigError(f"{path}: modules.{name} depends on itself")
+    cycle = find_cycle(modules)
+    if cycle:
+        raise ConfigError(
+            f"{path}: declared edges contain a cycle: {' -> '.join(cycle)}"
+        )
+    zones = raw.get("determinism", {}).get("zones", [])
+    for zone in zones:
+        if zone not in modules:
+            raise ConfigError(
+                f"{path}: determinism zone '{zone}' is not a declared module"
+            )
+    return modules, zones
+
+
+def find_cycle(modules):
+    """Return one cycle as a node list (closed), or None if the DAG is sound."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {m: WHITE for m in modules}
+    stack = []
+
+    def visit(node):
+        color[node] = GREY
+        stack.append(node)
+        for dep in modules[node]:
+            if color[dep] == GREY:
+                return stack[stack.index(dep):] + [dep]
+            if color[dep] == WHITE:
+                found = visit(dep)
+                if found:
+                    return found
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for name in sorted(modules):
+        if color[name] == WHITE:
+            found = visit(name)
+            if found:
+                return found
+    return None
+
+
+def transitive_deps(modules):
+    closure = {}
+
+    def deps_of(name):
+        if name not in closure:
+            acc = set()
+            closure[name] = acc  # config is acyclic, so no re-entry
+            for dep in modules[name]:
+                acc.add(dep)
+                acc |= deps_of(dep)
+        return closure[name]
+
+    for name in modules:
+        deps_of(name)
+    return closure
+
+
+def strip_code(lines):
+    """Yield (code, comment) per line, with strings blanked and block
+    comments tracked across lines. The comment part feeds the allow-pragma
+    scanner; the code part feeds the rule regexes."""
+    in_block = False
+    for line in lines:
+        code, comment = [], []
+        i = 0
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                yield "", line
+                continue
+            comment.append(line[:end])
+            i = end + 2
+            in_block = False
+        line = line[i:]
+        line = STRING_RE.sub(lambda m: '""', line)
+        while True:
+            slash = line.find("//")
+            block = line.find("/*")
+            if slash >= 0 and (block < 0 or slash < block):
+                code.append(line[:slash])
+                comment.append(line[slash + 2:])
+                break
+            if block >= 0:
+                code.append(line[:block])
+                end = line.find("*/", block + 2)
+                if end < 0:
+                    comment.append(line[block + 2:])
+                    in_block = True
+                    break
+                comment.append(line[block + 2:end])
+                line = line[end + 2:]
+                continue
+            code.append(line)
+            break
+        yield "".join(code), " ".join(comment)
+
+
+def scan_source_files(src_root):
+    for path in sorted(src_root.rglob("*")):
+        if path.suffix in (".cpp", ".hpp", ".h", ".cc", ".cxx"):
+            yield path
+
+
+def module_of(path, src_root, modules):
+    rel = path.relative_to(src_root)
+    if len(rel.parts) < 2:
+        return None
+    top = rel.parts[0]
+    return top if top in modules else None
+
+
+def check_layering(src_root, modules, findings):
+    closure = transitive_deps(modules)
+    known_tops = set(modules)
+    for path in scan_source_files(src_root):
+        rel = path.relative_to(src_root)
+        if rel.parts[0] not in known_tops:
+            findings.append(
+                finding(path, 1, "layering",
+                        f"module '{rel.parts[0]}' is not declared in the "
+                        "layer config; add it to [modules]")
+            )
+            continue
+        source_mod = rel.parts[0]
+        for lineno, line in enumerate(read_lines(path), start=1):
+            match = INCLUDE_RE.match(line)
+            if not match:
+                continue
+            target = match.group(1).split("/")[0]
+            if target not in known_tops:
+                continue  # quoted non-module include (e.g. generated header)
+            if target == source_mod or target in modules[source_mod]:
+                continue
+            if source_mod in closure.get(target, set()):
+                kind = (f"back-edge: '{target}' already depends on "
+                        f"'{source_mod}'")
+            else:
+                kind = "undeclared edge"
+            findings.append(
+                finding(path, lineno, "layering",
+                        f"{kind}; '{source_mod}' may not include "
+                        f"'{match.group(1)}' (declared deps: "
+                        f"{', '.join(modules[source_mod]) or 'none'})")
+            )
+
+
+def check_determinism(src_root, modules, zones, rule_ids, findings, allows):
+    for path in scan_source_files(src_root):
+        mod = module_of(path, src_root, modules)
+        if mod not in zones:
+            continue
+        lines = read_lines(path)
+        # A pragma covers its own line plus the next non-empty code line
+        # (blank and comment-only lines in between don't consume it), so it
+        # can trail the statement or sit in a comment block directly above.
+        # pending: rule -> [justification, pragma_line, code_lines_left, used]
+        pending = {}
+        for lineno, (code, comment) in enumerate(strip_code(lines), start=1):
+            for pragma in ALLOW_RE.finditer(comment):
+                rule, justification = pragma.group(1), pragma.group(2).strip()
+                if rule not in DETERMINISM_RULES:
+                    findings.append(
+                        finding(path, lineno, "allow-unknown-rule",
+                                f"allow() names unknown rule '{rule}'")
+                    )
+                    continue
+                if not justification:
+                    findings.append(
+                        finding(path, lineno, "allow-missing-justification",
+                                f"allow({rule}) needs a justification after "
+                                "the closing parenthesis")
+                    )
+                    continue
+                budget = 2 if code.strip() else 1
+                pending[rule] = [justification, lineno, budget, False]
+            if not code.strip():
+                continue
+            for rule in rule_ids:
+                regex, message = DETERMINISM_RULES[rule]
+                match = regex.search(code)
+                if not match:
+                    continue
+                allow = pending.get(rule)
+                if allow:
+                    allow[3] = True
+                    allows.append({
+                        "file": str(path), "line": lineno, "rule": rule,
+                        "justification": allow[0],
+                    })
+                else:
+                    findings.append(
+                        finding(path, lineno, rule,
+                                f"{message} (matched '{match.group(0)}')")
+                    )
+            for rule in list(pending):
+                allow = pending[rule]
+                allow[2] -= 1
+                if allow[2] <= 0:
+                    del pending[rule]
+                    if not allow[3] and rule in rule_ids:
+                        findings.append(
+                            finding(path, allow[1], "allow-unused",
+                                    f"allow({rule}) suppresses nothing; "
+                                    "remove it")
+                        )
+        for rule, allow in pending.items():
+            if not allow[3] and rule in rule_ids:
+                findings.append(
+                    finding(path, allow[1], "allow-unused",
+                            f"allow({rule}) suppresses nothing; remove it")
+                )
+
+
+def read_lines(path):
+    return path.read_text(encoding="utf-8", errors="replace").splitlines()
+
+
+def finding(path, lineno, rule, message):
+    return {"file": str(path), "line": lineno, "rule": rule,
+            "message": message}
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: two dirs up)")
+    parser.add_argument("--config", default=None,
+                        help="layer config (default: ROOT/tools/hbsp_lint/"
+                             "layers.toml)")
+    parser.add_argument("--rules", default="layering,determinism",
+                        help="comma list: rule families (layering, "
+                             "determinism) and/or individual determinism "
+                             "rule ids")
+    parser.add_argument("--json", default=None, metavar="OUT",
+                        help="write a machine-readable report")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-finding stderr lines")
+    args = parser.parse_args(argv)
+
+    root = pathlib.Path(args.root or pathlib.Path(__file__).parents[2])
+    src_root = root / "src"
+    if not src_root.is_dir():
+        print(f"hbsp-lint: no src/ under {root}", file=sys.stderr)
+        return 2
+    config_path = pathlib.Path(args.config or
+                               root / "tools" / "hbsp_lint" / "layers.toml")
+
+    run_layering = False
+    det_rules = set()
+    for token in filter(None, (t.strip() for t in args.rules.split(","))):
+        if token == "layering":
+            run_layering = True
+        elif token == "determinism":
+            det_rules |= set(DETERMINISM_RULES)
+        elif token in DETERMINISM_RULES:
+            det_rules.add(token)
+        else:
+            print(f"hbsp-lint: unknown rule '{token}' (families: "
+                  f"{', '.join(RULE_FAMILIES)}; determinism rules: "
+                  f"{', '.join(sorted(DETERMINISM_RULES))})", file=sys.stderr)
+            return 2
+
+    try:
+        modules, zones = load_config(config_path)
+    except ConfigError as exc:
+        print(f"hbsp-lint: bad config: {exc}", file=sys.stderr)
+        return 2
+
+    findings, allows = [], []
+    if run_layering:
+        check_layering(src_root, modules, findings)
+    if det_rules:
+        check_determinism(src_root, modules, zones, det_rules, findings,
+                          allows)
+    findings.sort(key=lambda f: (f["file"], f["line"], f["rule"]))
+
+    files_scanned = sum(1 for _ in scan_source_files(src_root))
+    report = {
+        "tool": "hbsp-lint",
+        "root": str(root),
+        "rules": sorted(({"layering"} if run_layering else set()) |
+                        det_rules),
+        "findings": findings,
+        "allowed": allows,
+        "summary": {
+            "findings": len(findings),
+            "allowed": len(allows),
+            "files_scanned": files_scanned,
+        },
+    }
+    if args.json:
+        out = pathlib.Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
+                       encoding="utf-8")
+
+    if not args.quiet:
+        for item in findings:
+            print(f"{item['file']}:{item['line']}: [{item['rule']}] "
+                  f"{item['message']}", file=sys.stderr)
+    status = "FAIL" if findings else "ok"
+    print(f"hbsp-lint: {status} — {len(findings)} finding(s), "
+          f"{len(allows)} allowed, {files_scanned} files scanned")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Differential clang-tidy gate for the HBSP^k tree (stdlib-only).
+
+Runs clang-tidy (with the repo's .clang-tidy check set) over every
+translation unit in src/, fingerprints each finding, and compares the set
+against the committed baseline. Only *new* fingerprints fail, so the gate
+can land on a codebase with known findings and still stop regressions.
+
+A fingerprint is `relative-file | check-name | message` — deliberately no
+line number, so unrelated edits that shift code don't churn the baseline.
+Adding a second identical finding in the same file is therefore invisible
+to the gate; that is the accepted cost of a stable baseline (same trade-off
+clang-tidy's own --export-fixes diffing makes).
+
+Usage:
+  run_clang_tidy.py --build-dir build-ci-lint            # gate vs baseline
+  run_clang_tidy.py --build-dir build-ci-lint --update-baseline
+  run_clang_tidy.py --build-dir build-ci-lint --json report.json
+
+The build dir must contain compile_commands.json (configure with
+-DCMAKE_EXPORT_COMPILE_COMMANDS=ON). If no clang-tidy binary is found the
+script prints a notice and exits 0 — the hbsp-lint rules still gate, and CI
+installs clang-tidy so the differential check always runs there.
+
+Exit codes: 0 clean/skipped, 1 new findings, 2 bad usage.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+
+CANDIDATES = ("clang-tidy", "clang-tidy-19", "clang-tidy-18",
+              "clang-tidy-17", "clang-tidy-16", "clang-tidy-15",
+              "clang-tidy-14")
+
+# clang-tidy diagnostic line:  /path/file.cpp:12:3: warning: msg [check]
+DIAG_RE = re.compile(
+    r"^(?P<file>[^:\n]+):(?P<line>\d+):(?P<col>\d+): "
+    r"(?:warning|error): (?P<message>.*?) \[(?P<check>[\w.,-]+)\]$"
+)
+
+
+def find_clang_tidy():
+    override = os.environ.get("CLANG_TIDY")
+    if override:
+        return override if shutil.which(override) else None
+    for name in CANDIDATES:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def list_sources(build_dir):
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.is_file():
+        raise FileNotFoundError(
+            f"{db_path} not found; configure with "
+            "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON"
+        )
+    with open(db_path, encoding="utf-8") as fh:
+        db = json.load(fh)
+    sources = set()
+    for entry in db:
+        path = pathlib.Path(entry["directory"], entry["file"]).resolve()
+        if "/src/" in str(path):
+            sources.add(path)
+    return sorted(sources)
+
+
+def run_one(binary, build_dir, source):
+    proc = subprocess.run(
+        [binary, "--quiet", "-p", str(build_dir), str(source)],
+        capture_output=True, text=True, check=False,
+    )
+    findings = []
+    for line in proc.stdout.splitlines():
+        match = DIAG_RE.match(line)
+        if match and "/src/" in match.group("file"):
+            findings.append({
+                "file": match.group("file"),
+                "line": int(match.group("line")),
+                "check": match.group("check"),
+                "message": match.group("message"),
+            })
+    return findings
+
+
+def fingerprint(item, root):
+    try:
+        rel = str(pathlib.Path(item["file"]).resolve().relative_to(root))
+    except ValueError:
+        rel = item["file"]
+    return f"{rel} | {item['check']} | {item['message']}"
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", required=True)
+    parser.add_argument("--baseline", default=None,
+                        help="default: tools/hbsp_lint/"
+                             "clang_tidy_baseline.txt next to this script")
+    parser.add_argument("--update-baseline", action="store_true")
+    parser.add_argument("--json", default=None, metavar="OUT")
+    parser.add_argument("--jobs", type=int,
+                        default=max(1, (os.cpu_count() or 2) - 1))
+    args = parser.parse_args(argv)
+
+    root = pathlib.Path(__file__).parents[2].resolve()
+    build_dir = pathlib.Path(args.build_dir).resolve()
+    baseline_path = pathlib.Path(
+        args.baseline or pathlib.Path(__file__).parent /
+        "clang_tidy_baseline.txt"
+    )
+
+    binary = find_clang_tidy()
+    if binary is None:
+        print("run_clang_tidy: no clang-tidy binary found (set CLANG_TIDY "
+              "to override); skipping the differential gate")
+        return 0
+
+    try:
+        sources = list_sources(build_dir)
+    except FileNotFoundError as exc:
+        print(f"run_clang_tidy: {exc}", file=sys.stderr)
+        return 2
+    if not sources:
+        print("run_clang_tidy: compile_commands.json lists no src/ "
+              "translation units", file=sys.stderr)
+        return 2
+
+    print(f"run_clang_tidy: {binary} over {len(sources)} TU(s), "
+          f"-j{args.jobs}")
+    findings = []
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = [pool.submit(run_one, binary, build_dir, s)
+                   for s in sources]
+        for future in futures:
+            findings.extend(future.result())
+
+    seen = {}
+    for item in findings:
+        seen.setdefault(fingerprint(item, root), item)
+
+    if args.update_baseline:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        body = "".join(f"{fp}\n" for fp in sorted(seen))
+        baseline_path.write_text(
+            "# clang-tidy suppression baseline — one fingerprint per line\n"
+            "# (file | check | message). Regenerate with "
+            "ci/regen_lint_baseline.sh.\n" + body, encoding="utf-8")
+        print(f"run_clang_tidy: baseline re-pinned with {len(seen)} "
+              f"fingerprint(s) at {baseline_path}")
+        return 0
+
+    baseline = set()
+    if baseline_path.is_file():
+        for line in baseline_path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if line and not line.startswith("#"):
+                baseline.add(line)
+
+    new = {fp: item for fp, item in seen.items() if fp not in baseline}
+    fixed = baseline - set(seen)
+
+    if args.json:
+        out = pathlib.Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps({
+            "tool": "run_clang_tidy",
+            "binary": binary,
+            "sources": len(sources),
+            "findings": sorted(seen),
+            "new": sorted(new),
+            "fixed_from_baseline": sorted(fixed),
+        }, indent=2) + "\n", encoding="utf-8")
+
+    for fp, item in sorted(new.items()):
+        print(f"{item['file']}:{item['line']}: [{item['check']}] "
+              f"{item['message']}", file=sys.stderr)
+    if fixed:
+        print(f"run_clang_tidy: {len(fixed)} baseline entr(ies) no longer "
+              "fire — re-pin with ci/regen_lint_baseline.sh to shrink the "
+              "baseline")
+    print(f"run_clang_tidy: {len(seen)} finding(s), {len(new)} new vs "
+          f"baseline ({len(baseline)} baselined)")
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
