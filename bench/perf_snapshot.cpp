@@ -10,12 +10,19 @@
 //   micro_planner    a BM-style loop re-planning gather/broadcast
 //   micro_advisor    a BM-style loop of full advise() calls
 //
-// Before each workload the global metrics registry is reset; after it the
-// merged snapshot plus the workload's wall-clock time goes into the JSON.
+// Each workload runs --reps times (default 5) with the global plan and
+// scenario caches cleared once up front: repetition 0 is the cold pass,
+// repetitions 1.. run against warm caches. Every repetition resets the
+// metrics registry first; the snapshot and wall_seconds in the JSON are the
+// cold pass's (byte-identical to a standalone run), and the "timing" object
+// carries cold vs median/min/max warm monotonic-clock seconds — the wall-time
+// half of the perf gate (ci/check_timing.py).
+//
 // Counters are deterministic totals (byte-identical at any --threads);
-// gauges and histograms carry the wall-clock/scheduling side and are
-// reported, never gated.
+// gauges, histograms and timings carry the wall-clock/scheduling side.
+// Counters are exact-matched by the gate, timings are ratio-gated.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <functional>
@@ -23,11 +30,13 @@
 #include <vector>
 
 #include "collectives/advisor.hpp"
+#include "collectives/plan_cache.hpp"
 #include "collectives/planners.hpp"
 #include "collectives/resilience.hpp"
 #include "core/topology.hpp"
 #include "experiments/chaos.hpp"
 #include "experiments/figures.hpp"
+#include "experiments/scenario_cache.hpp"
 #include "obs/export.hpp"
 #include "sim/cluster_sim.hpp"
 #include "obs/metrics.hpp"
@@ -38,25 +47,57 @@ namespace {
 
 using namespace hbsp;
 
-struct WorkloadResult {
-  std::string name;
-  double wall_seconds = 0.0;
-  obs::MetricsSnapshot snapshot;
+struct TimingStats {
+  std::int64_t reps = 1;
+  double cold_seconds = 0.0;         ///< repetition 0, cache-cold
+  double warm_median_seconds = 0.0;  ///< median of repetitions 1..reps-1
+  double warm_min_seconds = 0.0;
+  double warm_max_seconds = 0.0;
 };
 
-WorkloadResult run_workload(const std::string& name,
+struct WorkloadResult {
+  std::string name;
+  double wall_seconds = 0.0;  ///< == timing.cold_seconds (back-compat field)
+  TimingStats timing;
+  obs::MetricsSnapshot snapshot;  ///< cold repetition's metrics
+};
+
+WorkloadResult run_workload(const std::string& name, std::int64_t reps,
                             const std::function<void()>& body) {
   auto& registry = obs::Registry::global();
-  registry.reset();
-  const auto start = std::chrono::steady_clock::now();
-  body();
-  const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  // Cold start: both process-wide caches empty, exactly like a fresh
+  // process. Repetitions after the first then measure the warm path.
+  coll::PlanCache::global().clear();
+  exp::ScenarioCache::global().clear();
+
   WorkloadResult result;
   result.name = name;
-  result.wall_seconds = wall;
-  result.snapshot = registry.snapshot();
+  std::vector<double> warm;
+  for (std::int64_t rep = 0; rep < reps; ++rep) {
+    registry.reset();
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (rep == 0) {
+      result.wall_seconds = wall;
+      result.timing.cold_seconds = wall;
+      result.snapshot = registry.snapshot();
+    } else {
+      warm.push_back(wall);
+    }
+  }
+  // With --reps 1 there is no warm pass; report the cold time so the fields
+  // stay populated (the gate's warm-vs-cold check needs reps >= 2 anyway).
+  if (warm.empty()) warm.push_back(result.timing.cold_seconds);
+  std::sort(warm.begin(), warm.end());
+  const std::size_t mid = warm.size() / 2;
+  result.timing.reps = reps;
+  result.timing.warm_median_seconds =
+      warm.size() % 2 == 1 ? warm[mid] : 0.5 * (warm[mid - 1] + warm[mid]);
+  result.timing.warm_min_seconds = warm.front();
+  result.timing.warm_max_seconds = warm.back();
   return result;
 }
 
@@ -68,6 +109,7 @@ int main(int argc, char** argv) {
       .allow("pr", "PR number stamped into the snapshot (default 3)")
       .allow("threads", "sweep worker threads (default 1)")
       .allow("iters", "micro-loop iterations (default 40)")
+      .allow("reps", "repetitions per workload: 1 cold + reps-1 warm (default 5)")
       .allow("table", "also print the per-workload metric tables");
   cli.validate();
 
@@ -75,6 +117,7 @@ int main(int argc, char** argv) {
   const auto pr = cli.get_int("pr", 3);
   const int threads = static_cast<int>(cli.get_positive_int("threads", 1));
   const auto iters = cli.get_positive_int("iters", 40);
+  const auto reps = cli.get_positive_int("reps", 5);
   const bool print_tables = cli.get_bool("table", false);
 
   exp::SweepRunner runner{threads};
@@ -83,16 +126,17 @@ int main(int argc, char** argv) {
   exp::FigureConfig fig;
   fig.threads = threads;
   results.push_back(run_workload(
-      "fig3a", [&] { (void)exp::gather_root_experiment(fig, runner); }));
-  results.push_back(run_workload(
-      "fig4a", [&] { (void)exp::broadcast_root_experiment(fig, runner); }));
+      "fig3a", reps, [&] { (void)exp::gather_root_experiment(fig, runner); }));
+  results.push_back(run_workload("fig4a", reps, [&] {
+    (void)exp::broadcast_root_experiment(fig, runner);
+  }));
 
   exp::ChaosConfig chaos;
   chaos.threads = threads;
   results.push_back(
-      run_workload("chaos", [&] { (void)exp::chaos_sweep(chaos, runner); }));
+      run_workload("chaos", reps, [&] { (void)exp::chaos_sweep(chaos, runner); }));
 
-  results.push_back(run_workload("resilience", [&] {
+  results.push_back(run_workload("resilience", reps, [&] {
     // The chaos bench's demo scenario: drop the fastest machine mid-gather
     // with 2% message loss, forcing at least one advisor re-plan round.
     const MachineTree tree = make_paper_testbed(chaos.p, chaos.g, chaos.L);
@@ -105,14 +149,14 @@ int main(int argc, char** argv) {
                                     chaos.sim, plan);
   }));
 
-  results.push_back(run_workload("micro_sim", [&] {
+  results.push_back(run_workload("micro_sim", reps, [&] {
     const MachineTree tree = make_paper_testbed(10);
     const CommSchedule schedule = coll::plan_gather(tree, 250000, {});
     sim::ClusterSim sim{tree, sim::SimParams{}};
     for (std::int64_t i = 0; i < iters; ++i) (void)sim.run(schedule);
   }));
 
-  results.push_back(run_workload("micro_planner", [&] {
+  results.push_back(run_workload("micro_planner", reps, [&] {
     const MachineTree tree = make_paper_testbed(10);
     for (std::int64_t i = 0; i < iters; ++i) {
       (void)coll::plan_gather(tree, 250000, {});
@@ -120,7 +164,7 @@ int main(int argc, char** argv) {
     }
   }));
 
-  results.push_back(run_workload("micro_advisor", [&] {
+  results.push_back(run_workload("micro_advisor", reps, [&] {
     const MachineTree tree = make_paper_testbed(8);
     for (std::int64_t i = 0; i < iters; ++i) {
       (void)coll::advise(tree, coll::CollectiveKind::kGather, 250000);
@@ -132,11 +176,12 @@ int main(int argc, char** argv) {
   // every map inside a snapshot is name-sorted, so two runs with equal
   // counters produce byte-identical "counters" objects.
   std::string json = "{\n";
-  json += "  \"schema_version\": 1,\n";
+  json += "  \"schema_version\": 2,\n";
   json += "  \"bench\": \"perf_snapshot\",\n";
   json += "  \"pr\": " + std::to_string(pr) + ",\n";
   json += "  \"threads\": " + std::to_string(threads) + ",\n";
   json += "  \"iters\": " + std::to_string(iters) + ",\n";
+  json += "  \"reps\": " + std::to_string(reps) + ",\n";
   json += "  \"workloads\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const WorkloadResult& r = results[i];
@@ -144,6 +189,17 @@ int main(int argc, char** argv) {
     json += "      \"name\": \"" + obs::json_escape(r.name) + "\",\n";
     json += "      \"wall_seconds\": " + obs::json_number(r.wall_seconds) +
             ",\n";
+    json += "      \"timing\": {\n";
+    json += "        \"reps\": " + std::to_string(r.timing.reps) + ",\n";
+    json += "        \"cold_seconds\": " +
+            obs::json_number(r.timing.cold_seconds) + ",\n";
+    json += "        \"warm_median_seconds\": " +
+            obs::json_number(r.timing.warm_median_seconds) + ",\n";
+    json += "        \"warm_min_seconds\": " +
+            obs::json_number(r.timing.warm_min_seconds) + ",\n";
+    json += "        \"warm_max_seconds\": " +
+            obs::json_number(r.timing.warm_max_seconds) + "\n";
+    json += "      },\n";
     json += "      \"metrics\": " + obs::snapshot_json(r.snapshot, 6) + "\n";
     json += i + 1 < results.size() ? "    },\n" : "    }\n";
   }
@@ -168,8 +224,9 @@ int main(int argc, char** argv) {
           .print();
     }
   }
-  std::printf("perf_snapshot: %zu workloads -> %s (threads=%d, iters=%lld)\n",
-              results.size(), out_path.c_str(), threads,
-              static_cast<long long>(iters));
+  std::printf(
+      "perf_snapshot: %zu workloads -> %s (threads=%d, iters=%lld, reps=%lld)\n",
+      results.size(), out_path.c_str(), threads,
+      static_cast<long long>(iters), static_cast<long long>(reps));
   return 0;
 }

@@ -9,6 +9,8 @@
 #   CONFIG=asan  ci/check.sh
 #   CONFIG=ubsan ci/check.sh    # standalone strict UBSan (no recover)
 #   CONFIG=lint  ci/check.sh    # hbsp-lint + clang-tidy-vs-baseline, no tests
+#   CONFIG=relperf ci/check.sh  # Release: perf_snapshot twice (process-level
+#                               #   counter determinism) + warm-cache timing
 #   JOBS=8 ci/check.sh          # parallel build/test width
 #
 # Each configuration builds into its own tree (build-ci, build-ci-tsan,
@@ -101,6 +103,34 @@ plain_leg() {
   echo "goldens match regenerated tables"
 }
 
+# Release-mode scenario-throughput leg: runs the perf_snapshot basket twice
+# in fresh processes and requires byte-identical counters (each run is
+# cache-cold at rep 0, so totals must agree run-to-run, not just
+# thread-to-thread), then gates the warm-cache speedup. Timing snapshots
+# land in build-ci-relperf/ for CI to upload as artifacts.
+relperf_leg() {
+  local dir=build-ci-relperf
+  echo "== configure ${dir} (Release)"
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  echo "== build perf_snapshot"
+  cmake --build "${dir}" -j "${JOBS}" --target perf_snapshot >/dev/null
+
+  echo "== perf_snapshot run A"
+  "${dir}/bench/perf_snapshot" --threads 4 --out "${dir}/BENCH_relperf_a.json"
+  echo "== perf_snapshot run B"
+  "${dir}/bench/perf_snapshot" --threads 4 --out "${dir}/BENCH_relperf_b.json"
+
+  echo "== schema validation"
+  python3 ci/validate_bench.py "${dir}/BENCH_relperf_a.json" ci/bench_schema.json
+
+  echo "== run-to-run counter determinism (warm caches rebuilt per process)"
+  python3 ci/diff_bench_counters.py \
+    "${dir}/BENCH_relperf_a.json" "${dir}/BENCH_relperf_b.json"
+
+  echo "== warm-cache speedup"
+  python3 ci/check_timing.py "${dir}/BENCH_relperf_a.json"
+}
+
 case "${CONFIG}" in
   all)
     lint_leg
@@ -108,14 +138,16 @@ case "${CONFIG}" in
     run_suite build-ci-tsan tier1 -DHBSP_SANITIZE=thread
     run_suite build-ci-asan tier1 -DHBSP_SANITIZE=address
     run_suite build-ci-ubsan tier1 -DHBSP_SANITIZE=undefined
+    relperf_leg
     ;;
   lint)  lint_leg ;;
   plain) plain_leg ;;
   tsan)  run_suite build-ci-tsan tier1 -DHBSP_SANITIZE=thread ;;
   asan)  run_suite build-ci-asan tier1 -DHBSP_SANITIZE=address ;;
   ubsan) run_suite build-ci-ubsan tier1 -DHBSP_SANITIZE=undefined ;;
+  relperf) relperf_leg ;;
   *)
-    echo "unknown CONFIG '${CONFIG}' (want all|lint|plain|tsan|asan|ubsan)" >&2
+    echo "unknown CONFIG '${CONFIG}' (want all|lint|plain|tsan|asan|ubsan|relperf)" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Gate the wall-time half of a BENCH_*.json perf snapshot.
+
+Two checks, both over the per-workload "timing" objects (schema v2):
+
+1. Warm-cache speedup (always, needs reps >= 2): for the cache-heavy sweep
+   workloads the warm-cache median must be at least 25% faster than the cold
+   pass (warm_median <= 0.75 * cold). This is the scenario-throughput layer's
+   acceptance criterion; it is machine-independent because both numbers come
+   from the same process on the same machine.
+
+2. Non-regression vs a baseline snapshot (when one is given): each
+   workload's warm_median must stay within PERF_GATE_RATIO (default 1.5x) of
+   the baseline's. The ratio is deliberately generous — CI machines vary —
+   while counters are exact-matched separately by diff_bench_counters.py.
+   A baseline without timing fields (schema v1) skips this check.
+
+Usage: ci/check_timing.py CANDIDATE.json [BASELINE.json]
+Exit 0 when every check passes, 1 otherwise.
+"""
+
+import json
+import os
+import sys
+
+# Workloads whose warm reps run almost entirely from the plan/scenario
+# caches; the others (micro loops, resilience) are legitimately cache-light.
+CACHED_WORKLOADS = ("fig3a", "fig4a", "chaos")
+WARM_OVER_COLD_MAX = 0.75
+DEFAULT_RATIO = 1.5
+
+
+def timings_by_workload(path):
+    with open(path) as f:
+        document = json.load(f)
+    return {w["name"]: w.get("timing") for w in document["workloads"]}
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    candidate = timings_by_workload(argv[1])
+    failed = False
+
+    for name in CACHED_WORKLOADS:
+        timing = candidate.get(name)
+        if timing is None:
+            print(f"{name}: no timing object in {argv[1]}")
+            failed = True
+            continue
+        if timing["reps"] < 2:
+            print(f"{name}: reps={timing['reps']} < 2, warm-vs-cold skipped")
+            continue
+        cold, warm = timing["cold_seconds"], timing["warm_median_seconds"]
+        bound = WARM_OVER_COLD_MAX * cold
+        verdict = "ok" if warm <= bound else "FAIL"
+        print(f"{name}: warm {warm:.6f}s vs cold {cold:.6f}s "
+              f"(need <= {bound:.6f}s) {verdict}")
+        if warm > bound:
+            failed = True
+
+    if len(argv) == 3:
+        baseline = timings_by_workload(argv[2])
+        ratio = float(os.environ.get("PERF_GATE_RATIO", DEFAULT_RATIO))
+        if any(t is None for t in baseline.values()):
+            print(f"baseline {argv[2]} predates timing fields; "
+                  "non-regression check skipped")
+        else:
+            for name in sorted(candidate):
+                if candidate[name] is None or name not in baseline:
+                    continue
+                old = baseline[name]["warm_median_seconds"]
+                new = candidate[name]["warm_median_seconds"]
+                bound = ratio * old
+                verdict = "ok" if new <= bound else "FAIL"
+                print(f"{name}: warm {new:.6f}s vs baseline {old:.6f}s "
+                      f"(need <= {ratio:.2f}x = {bound:.6f}s) {verdict}")
+                if new > bound:
+                    failed = True
+
+    if failed:
+        print(f"timing gate failed for {argv[1]}", file=sys.stderr)
+        return 1
+    print(f"timing gate passed for {argv[1]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

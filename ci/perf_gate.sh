@@ -10,7 +10,11 @@
 #   * counters   deterministic event totals (messages, plans, cells) —
 #                exact-match against the committed BENCH_<pr>.json, and
 #                byte-identical between --threads 1 and --threads 4
-#   * timings    wall_seconds, gauges, histograms — machine-dependent,
+#   * timing     the per-workload cold/warm monotonic-clock stats —
+#                ratio-gated by ci/check_timing.py: warm-cache sweeps must
+#                stay >= 25% faster than cold, and warm medians must stay
+#                within PERF_GATE_RATIO (default 1.5x) of the baseline's
+#   * the rest   wall_seconds, gauges, histograms — machine-dependent,
 #                reported in the snapshot but never compared
 #
 # The gate emits the fresh snapshot at ${SNAPSHOT_OUT} (default
@@ -46,6 +50,9 @@ python3 ci/validate_bench.py "${tmp}/t4.json" ci/bench_schema.json
 echo "== thread-count determinism (counters at --threads 1 vs 4)"
 python3 ci/diff_bench_counters.py "${SNAPSHOT_OUT}" "${tmp}/t4.json"
 
+echo "== warm-cache speedup (plan/scenario caches)"
+python3 ci/check_timing.py "${SNAPSHOT_OUT}"
+
 if [ "${UPDATE_BASELINE:-0}" = "1" ]; then
   mv "${SNAPSHOT_OUT}" "${BASELINE}"
   echo "baseline re-pinned: ${BASELINE} (review the diff and commit)"
@@ -59,5 +66,8 @@ fi
 
 echo "== counter drift vs committed ${BASELINE}"
 python3 ci/diff_bench_counters.py "${BASELINE}" "${SNAPSHOT_OUT}"
+
+echo "== timing non-regression vs committed ${BASELINE}"
+python3 ci/check_timing.py "${SNAPSHOT_OUT}" "${BASELINE}"
 
 echo "ci/perf_gate.sh: all green"

@@ -1,9 +1,11 @@
 #include "collectives/advisor.hpp"
 
+#include <algorithm>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 
-#include "core/cost_model.hpp"
+#include "collectives/plan_cache.hpp"
 #include "obs/metrics.hpp"
 
 namespace hbsp::coll {
@@ -15,7 +17,7 @@ struct Candidate {
   Shares shares = Shares::kBalanced;
   TopPhase top_phase = TopPhase::kTwoPhase;
   int supersteps = 1;  ///< tie-break: simpler structures first
-  CommSchedule schedule;
+  std::shared_ptr<const CachedPlan> plan;
 };
 
 const char* shares_name(Shares shares) {
@@ -48,34 +50,19 @@ const char* to_string(CollectiveKind kind) noexcept {
   return "?";
 }
 
+PlanRequest CollectiveAdvice::request(std::size_t n) const {
+  return PlanRequest{.kind = kind,
+                     .n = n,
+                     .root_pid = root_pid,
+                     .shares = shares,
+                     .top_phase = top_phase};
+}
+
 CommSchedule CollectiveAdvice::plan(const MachineTree& tree,
                                     std::size_t n) const {
-  switch (kind) {
-    case CollectiveKind::kGather:
-      return plan_gather(tree, n, {.root_pid = root_pid, .shares = shares});
-    case CollectiveKind::kBroadcast:
-      return plan_broadcast(
-          tree, n,
-          {.root_pid = root_pid, .top_phase = top_phase, .shares = shares});
-    case CollectiveKind::kScatter:
-      return plan_scatter(tree, n, {.root_pid = root_pid, .shares = shares});
-    case CollectiveKind::kReduce:
-      return plan_reduce_tree(tree, n,
-                              {.root_pid = root_pid, .shares = shares});
-    case CollectiveKind::kAllgather: {
-      for (int j = 0; j < tree.num_children(tree.root()); ++j) {
-        if (!tree.is_processor(tree.child(tree.root(), j))) {
-          return plan_allgather_tree(tree, n, shares);
-        }
-      }
-      return plan_allgather(tree, n, shares);
-    }
-    case CollectiveKind::kScan:
-      return plan_scan(tree, n, shares);
-    case CollectiveKind::kAlltoall:
-      return plan_alltoall(tree, n, shares);
-  }
-  throw std::logic_error{"CollectiveAdvice::plan: bad kind"};
+  // Served through the shared cache: re-planning the advice the advisor just
+  // priced (the common follow-up call) is a lookup, not a rebuild.
+  return PlanCache::global().get(tree, request(n))->schedule;
 }
 
 CollectiveAdvice advise(const MachineTree& tree, CollectiveKind kind,
@@ -83,13 +70,18 @@ CollectiveAdvice advise(const MachineTree& tree, CollectiveKind kind,
   if (tree.num_children(tree.root()) == 0) {
     throw std::invalid_argument{"advise: single-processor machine"};
   }
-  const CostModel model{tree};
   const int fast = tree.coordinator_pid(tree.root());
   const int slow = tree.slowest_pid(tree.root());
 
+  // Candidates come through the shared plan cache: the schedule and its
+  // CostModel price are built once per distinct configuration, and the
+  // follow-up advice.plan() call is a lookup. build_plan dispatches
+  // allgather's flat/hierarchical split, so the cache sees the same schedule
+  // the direct planner calls used to produce.
   std::vector<Candidate> candidates;
-  const auto add = [&](Candidate candidate) {
-    candidate.supersteps = count_supersteps(candidate.schedule);
+  const auto add = [&](Candidate candidate, const PlanRequest& request) {
+    candidate.plan = PlanCache::global().get(tree, request);
+    candidate.supersteps = count_supersteps(candidate.plan->schedule);
     candidates.push_back(std::move(candidate));
   };
 
@@ -97,14 +89,6 @@ CollectiveAdvice advise(const MachineTree& tree, CollectiveKind kind,
     case CollectiveKind::kGather:
     case CollectiveKind::kScatter:
     case CollectiveKind::kReduce: {
-      const auto make = [&](int root, Shares shares) {
-        const RootedOptions options{.root_pid = root, .shares = shares};
-        switch (kind) {
-          case CollectiveKind::kGather: return plan_gather(tree, n, options);
-          case CollectiveKind::kScatter: return plan_scatter(tree, n, options);
-          default: return plan_reduce_tree(tree, n, options);
-        }
-      };
       for (const int root : {fast, slow}) {
         for (const Shares shares : {Shares::kBalanced, Shares::kEqual}) {
           Candidate candidate;
@@ -112,8 +96,8 @@ CollectiveAdvice advise(const MachineTree& tree, CollectiveKind kind,
                                   shares_name(shares) + " shares";
           candidate.root_pid = root;
           candidate.shares = shares;
-          candidate.schedule = make(root, shares);
-          add(std::move(candidate));
+          add(std::move(candidate),
+              {.kind = kind, .n = n, .root_pid = root, .shares = shares});
         }
         if (slow == fast) break;
       }
@@ -129,10 +113,11 @@ CollectiveAdvice advise(const MachineTree& tree, CollectiveKind kind,
         candidate.root_pid = fast;
         candidate.shares = Shares::kEqual;
         candidate.top_phase = top;
-        candidate.schedule = plan_broadcast(
-            tree, n,
-            {.root_pid = fast, .top_phase = top, .shares = Shares::kEqual});
-        add(std::move(candidate));
+        add(std::move(candidate), {.kind = kind,
+                                   .n = n,
+                                   .root_pid = fast,
+                                   .shares = Shares::kEqual,
+                                   .top_phase = top});
       }
       break;
     }
@@ -143,27 +128,7 @@ CollectiveAdvice advise(const MachineTree& tree, CollectiveKind kind,
         Candidate candidate;
         candidate.description = std::string{shares_name(shares)} + " shares";
         candidate.shares = shares;
-        const bool flat = [&] {
-          for (int j = 0; j < tree.num_children(tree.root()); ++j) {
-            if (!tree.is_processor(tree.child(tree.root(), j))) return false;
-          }
-          return true;
-        }();
-        switch (kind) {
-          case CollectiveKind::kAllgather:
-            // On hierarchies the flat total exchange would flood the upper
-            // networks; use the gather+broadcast composition there.
-            candidate.schedule = flat ? plan_allgather(tree, n, shares)
-                                      : plan_allgather_tree(tree, n, shares);
-            break;
-          case CollectiveKind::kScan:
-            candidate.schedule = plan_scan(tree, n, shares);
-            break;
-          default:
-            candidate.schedule = plan_alltoall(tree, n, shares);
-            break;
-        }
-        add(std::move(candidate));
+        add(std::move(candidate), {.kind = kind, .n = n, .shares = shares});
       }
       break;
     }
@@ -181,7 +146,7 @@ CollectiveAdvice advise(const MachineTree& tree, CollectiveKind kind,
   int best_steps = std::numeric_limits<int>::max();
   bool best_balanced = false;
   for (const auto& candidate : candidates) {
-    const double cost = model.cost(candidate.schedule).total();
+    const double cost = candidate.plan->predicted_cost;
     advice.options.push_back({candidate.description, cost});
     const bool balanced = candidate.shares == Shares::kBalanced;
     const bool better =

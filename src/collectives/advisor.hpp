@@ -39,6 +39,8 @@ struct AdviceOption {
   double predicted_cost = 0.0;
 };
 
+struct PlanRequest;  // plan_cache.hpp
+
 /// The advisor's output: the chosen configuration plus everything it
 /// compared against and why it chose.
 struct CollectiveAdvice {
@@ -50,7 +52,12 @@ struct CollectiveAdvice {
   std::vector<AdviceOption> options;  ///< every configuration evaluated
   std::string rationale;
 
-  /// The planner schedule realising this advice.
+  /// The PlanCache request equivalent to this advice at problem size n —
+  /// what plan() asks the cache for.
+  [[nodiscard]] PlanRequest request(std::size_t n) const;
+
+  /// The planner schedule realising this advice, served through
+  /// PlanCache::global() (a lookup when the advisor already built it).
   [[nodiscard]] CommSchedule plan(const MachineTree& tree, std::size_t n) const;
 };
 

@@ -3,6 +3,9 @@
 #include <cstddef>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "runtime/message.hpp"
+
 namespace hbsp::coll {
 
 rt::Program make_replay_program(const MachineTree& tree,
@@ -10,6 +13,10 @@ rt::Program make_replay_program(const MachineTree& tree,
   validate_schedule(tree, schedule);
   // The program captures the schedule by value so callers may discard theirs.
   return [schedule](rt::Hbsp& ctx) {
+    // One pool per invocation: the runtime calls this lambda from every pid
+    // thread, and BufferPool is deliberately not thread-safe. Payloads
+    // received in superstep s become the send buffers of superstep s+1.
+    rt::BufferPool pool;
     for (const auto& phase : schedule.phases) {
       for (const auto& plan : phase.plans) {
         const auto [first, last] = ctx.machine().processor_range(plan.sync_scope);
@@ -24,14 +31,19 @@ rt::Program make_replay_program(const MachineTree& tree,
               transfer.items == 0) {
             continue;
           }
-          ctx.send(transfer.dst_pid,
-                   std::vector<std::byte>(transfer.items * 4, std::byte{0}),
+          ctx.send(transfer.dst_pid, pool.acquire(transfer.items * 4),
                    transfer.items);
         }
         ctx.sync_scope(plan.sync_scope);
-        (void)ctx.recv_all();  // drain so later supersteps start clean
+        pool.recycle(ctx.recv_all());  // drain so later supersteps start clean
       }
     }
+    // Counters, not gauges: the per-pid totals are a pure function of the
+    // schedule, so the summed values are deterministic at any thread count
+    // (a "buffers pooled right now" gauge would be last-writer-wins).
+    auto& registry = obs::Registry::global();
+    registry.counter("rt.pool.acquires").add(pool.acquires());
+    registry.counter("rt.pool.reuses").add(pool.reuses());
   };
 }
 

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/hash.hpp"
+
 namespace hbsp {
 namespace {
 
@@ -162,6 +164,27 @@ MachineTree MachineTree::build(const MachineSpec& root, double g) {
       }
     }
   }
+
+  // Structural fingerprint: every model parameter and the full shape in
+  // level-major order. Derived fields (global_c, coordinator_pid, leaf
+  // ranges) are pure functions of what is hashed, so they add nothing.
+  util::Hash64 hash;
+  hash.add_double(tree.g_);
+  hash.add(tree.levels_.size());
+  for (const auto& row : tree.levels_) {
+    hash.add(row.size());
+    for (const Node& n : row) {
+      hash.add_string(n.name);
+      hash.add_double(n.r);
+      hash.add_double(n.compute_r);
+      hash.add_double(n.sync_L);
+      hash.add_double(n.c);
+      hash.add_int(n.parent);
+      hash.add(n.children.size());
+      hash.add_int(n.pid);
+    }
+  }
+  tree.fingerprint_ = hash.digest();
   return tree;
 }
 

@@ -19,6 +19,7 @@
 // (the paper ranks machines with one BYTEmark score covering both).
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
@@ -144,11 +145,22 @@ class MachineTree {
   /// All machine ids on one level, in index order.
   [[nodiscard]] std::vector<MachineId> level_ids(int level) const;
 
+  /// Stable structural fingerprint of the machine: a pure function of g and
+  /// every node's (name, r, compute_r, sync_L, c, shape) in level-major
+  /// order, computed once at build time. Two trees with equal fingerprints
+  /// are (up to hash collision) the same machine, so plan and scenario
+  /// caches key on this value. Distinct trees built from the same spec and g
+  /// always agree.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept {
+    return fingerprint_;
+  }
+
  private:
   MachineTree() = default;
   [[nodiscard]] Node& mutable_node(MachineId id);
 
   double g_ = 1.0;
+  std::uint64_t fingerprint_ = 0;          ///< structural hash, set by build()
   std::vector<std::vector<Node>> levels_;  ///< levels_[i][j] == M_{i,j}
   std::vector<MachineId> processors_;      ///< pid -> node id
 };

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/hash.hpp"
+
 namespace hbsp {
 
 std::size_t SuperstepPlan::items_sent(int pid) const {
@@ -42,6 +44,33 @@ std::size_t CommSchedule::total_items() const {
     }
   }
   return total;
+}
+
+std::uint64_t CommSchedule::fingerprint() const {
+  util::Hash64 hash;
+  hash.add_string(name);
+  hash.add(phases.size());
+  for (const auto& phase : phases) {
+    hash.add(phase.plans.size());
+    for (const auto& plan : phase.plans) {
+      hash.add_string(plan.label);
+      hash.add_int(plan.level);
+      hash.add_int(plan.sync_scope.level);
+      hash.add_int(plan.sync_scope.index);
+      hash.add(plan.transfers.size());
+      for (const auto& t : plan.transfers) {
+        hash.add_int(t.src_pid);
+        hash.add_int(t.dst_pid);
+        hash.add(t.items);
+      }
+      hash.add(plan.compute.size());
+      for (const auto& w : plan.compute) {
+        hash.add_int(w.pid);
+        hash.add_double(w.ops);
+      }
+    }
+  }
+  return hash.digest();
 }
 
 std::size_t CommSchedule::total_messages() const {

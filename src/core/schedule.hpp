@@ -9,6 +9,7 @@
 // costs are two views of one object and can be cross-checked in tests.
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,8 @@ struct Transfer {
   int src_pid = 0;
   int dst_pid = 0;
   std::size_t items = 0;
+
+  friend bool operator==(const Transfer&, const Transfer&) = default;
 };
 
 /// Local computation charged to one processor within a superstep, measured in
@@ -28,6 +31,8 @@ struct Transfer {
 struct ComputeWork {
   int pid = 0;
   double ops = 0.0;
+
+  friend bool operator==(const ComputeWork&, const ComputeWork&) = default;
 };
 
 /// One super^i-step (§3.2): transfers plus computation, closed by a barrier
@@ -43,6 +48,8 @@ struct SuperstepPlan {
   [[nodiscard]] std::size_t items_sent(int pid) const;
   /// Total items received by `pid` in this plan (self-sends excluded).
   [[nodiscard]] std::size_t items_received(int pid) const;
+
+  friend bool operator==(const SuperstepPlan&, const SuperstepPlan&) = default;
 };
 
 /// Superstep plans that run *concurrently* on disjoint subtrees — e.g. the
@@ -50,6 +57,8 @@ struct SuperstepPlan {
 /// barrier. A phase completes when all of its plans have completed.
 struct Phase {
   std::vector<SuperstepPlan> plans;
+
+  friend bool operator==(const Phase&, const Phase&) = default;
 };
 
 /// A full algorithm: an ordered sequence of phases. Phases are sequential;
@@ -68,6 +77,14 @@ struct CommSchedule {
   [[nodiscard]] std::size_t total_items() const;
   /// Total number of point-to-point messages (self-sends excluded).
   [[nodiscard]] std::size_t total_messages() const;
+
+  /// Stable structural hash of the whole schedule (name, labels, scopes,
+  /// transfers, compute — everything operator== compares). Equal schedules
+  /// have equal fingerprints; the scenario cache keys simulation results on
+  /// it together with the machine fingerprint.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  friend bool operator==(const CommSchedule&, const CommSchedule&) = default;
 };
 
 /// Throws std::invalid_argument unless every pid in the schedule exists in

@@ -2,8 +2,10 @@
 
 #include <stdexcept>
 
+#include "collectives/plan_cache.hpp"
 #include "collectives/planners.hpp"
 #include "core/topology.hpp"
+#include "experiments/scenario_cache.hpp"
 #include "obs/metrics.hpp"
 #include "sim/cluster_sim.hpp"
 #include "util/csv.hpp"
@@ -13,9 +15,24 @@
 namespace hbsp::exp {
 namespace {
 
-using coll::BroadcastOptions;
+using coll::CollectiveKind;
+using coll::PlanCache;
+using coll::PlanRequest;
 using coll::Shares;
 using coll::TopPhase;
+
+/// The memoized gather / two-phase broadcast plans the fault cells compare.
+std::shared_ptr<const coll::CachedPlan> cached_plan(const MachineTree& tree,
+                                                    CollectiveKind kind,
+                                                    std::size_t n,
+                                                    int root_pid) {
+  return PlanCache::global().get(tree,
+                                 PlanRequest{.kind = kind,
+                                             .n = n,
+                                             .root_pid = root_pid,
+                                             .shares = Shares::kEqual,
+                                             .top_phase = TopPhase::kTwoPhase});
+}
 
 std::size_t count_inversions(
     const std::vector<std::vector<double>>& factor) noexcept {
@@ -103,9 +120,7 @@ double simulate_makespan_with_faults(const MachineTree& tree,
                                      const CommSchedule& schedule,
                                      const sim::SimParams& params,
                                      const faults::FaultInjector* injector) {
-  sim::ClusterSim simulator{tree, params};
-  simulator.set_fault_injector(injector);
-  return simulator.run(schedule).makespan;
+  return ScenarioCache::global().makespan(tree, schedule, params, injector);
 }
 
 ImprovementTable gather_root_experiment_with_faults(
@@ -119,16 +134,14 @@ ImprovementTable gather_root_experiment_with_faults(
             make_paper_testbed(cell.p, config.g, config.L);
         const int fast = tree.coordinator_pid(tree.root());
         const int slow = tree.slowest_pid(tree.root());
+        const auto plan_f =
+            cached_plan(tree, CollectiveKind::kGather, cell.n, fast);
+        const auto plan_s =
+            cached_plan(tree, CollectiveKind::kGather, cell.n, slow);
         const double t_f = simulate_makespan_with_faults(
-            tree,
-            coll::plan_gather(tree, cell.n,
-                              {.root_pid = fast, .shares = Shares::kEqual}),
-            config.sim, &injector);
+            tree, plan_f->schedule, config.sim, &injector);
         const double t_s = simulate_makespan_with_faults(
-            tree,
-            coll::plan_gather(tree, cell.n,
-                              {.root_pid = slow, .shares = Shares::kEqual}),
-            config.sim, &injector);
+            tree, plan_s->schedule, config.sim, &injector);
         return t_s / t_f;
       });
 }
@@ -144,17 +157,14 @@ ImprovementTable broadcast_root_experiment_with_faults(
             make_paper_testbed(cell.p, config.g, config.L);
         const int fast = tree.coordinator_pid(tree.root());
         const int slow = tree.slowest_pid(tree.root());
-        const BroadcastOptions from_fast{.root_pid = fast,
-                                         .top_phase = TopPhase::kTwoPhase,
-                                         .shares = Shares::kEqual};
-        BroadcastOptions from_slow = from_fast;
-        from_slow.root_pid = slow;
+        const auto plan_f =
+            cached_plan(tree, CollectiveKind::kBroadcast, cell.n, fast);
+        const auto plan_s =
+            cached_plan(tree, CollectiveKind::kBroadcast, cell.n, slow);
         const double t_f = simulate_makespan_with_faults(
-            tree, coll::plan_broadcast(tree, cell.n, from_fast), config.sim,
-            &injector);
+            tree, plan_f->schedule, config.sim, &injector);
         const double t_s = simulate_makespan_with_faults(
-            tree, coll::plan_broadcast(tree, cell.n, from_slow), config.sim,
-            &injector);
+            tree, plan_s->schedule, config.sim, &injector);
         return t_s / t_f;
       });
 }
@@ -194,25 +204,22 @@ ChaosTable chaos_sweep(const ChaosConfig& config, SweepRunner& runner) {
     const int fast = tree.coordinator_pid(tree.root());
     const int slow = tree.slowest_pid(tree.root());
 
+    const auto gather_plan_f = cached_plan(tree, CollectiveKind::kGather, n, fast);
+    const auto gather_plan_s = cached_plan(tree, CollectiveKind::kGather, n, slow);
     const double gather_f = simulate_makespan_with_faults(
-        tree,
-        coll::plan_gather(tree, n, {.root_pid = fast, .shares = Shares::kEqual}),
-        config.sim, &injector);
+        tree, gather_plan_f->schedule, config.sim, &injector);
     const double gather_s = simulate_makespan_with_faults(
-        tree,
-        coll::plan_gather(tree, n, {.root_pid = slow, .shares = Shares::kEqual}),
-        config.sim, &injector);
+        tree, gather_plan_s->schedule, config.sim, &injector);
     table.gather_factor[row][col] = gather_s / gather_f;
 
-    const BroadcastOptions from_fast{.root_pid = fast,
-                                     .top_phase = TopPhase::kTwoPhase,
-                                     .shares = Shares::kEqual};
-    BroadcastOptions from_slow = from_fast;
-    from_slow.root_pid = slow;
+    const auto bcast_plan_f =
+        cached_plan(tree, CollectiveKind::kBroadcast, n, fast);
+    const auto bcast_plan_s =
+        cached_plan(tree, CollectiveKind::kBroadcast, n, slow);
     const double bcast_f = simulate_makespan_with_faults(
-        tree, coll::plan_broadcast(tree, n, from_fast), config.sim, &injector);
+        tree, bcast_plan_f->schedule, config.sim, &injector);
     const double bcast_s = simulate_makespan_with_faults(
-        tree, coll::plan_broadcast(tree, n, from_slow), config.sim, &injector);
+        tree, bcast_plan_s->schedule, config.sim, &injector);
     table.broadcast_factor[row][col] = bcast_s / bcast_f;
   });
   // The chaos grid shards through the pool directly (two collectives per

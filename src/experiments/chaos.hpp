@@ -78,7 +78,9 @@ struct ChaosTable {
 void write_chaos_csv(const ChaosTable& table, const std::string& path);
 
 /// Simulated makespan of a schedule with a fault injector attached
-/// (nullptr runs fault-free, identical to simulate_makespan).
+/// (nullptr runs fault-free, identical to simulate_makespan). Served through
+/// exp::ScenarioCache::global(), keyed additionally by the injector's
+/// fault-plan fingerprint; hits replay the captured sim.* metrics.
 [[nodiscard]] double simulate_makespan_with_faults(
     const MachineTree& tree, const CommSchedule& schedule,
     const sim::SimParams& params, const faults::FaultInjector* injector);

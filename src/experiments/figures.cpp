@@ -2,18 +2,44 @@
 
 #include <string>
 
+#include "collectives/plan_cache.hpp"
 #include "collectives/planners.hpp"
 #include "core/topology.hpp"
+#include "experiments/scenario_cache.hpp"
 #include "sim/cluster_sim.hpp"
 #include "util/units.hpp"
 
 namespace hbsp::exp {
 namespace {
 
-using coll::BroadcastOptions;
-using coll::RootedOptions;
+using coll::CollectiveKind;
+using coll::PlanCache;
+using coll::PlanRequest;
 using coll::Shares;
 using coll::TopPhase;
+
+/// The memoized plan for a gather request (the cells' most common shape).
+std::shared_ptr<const coll::CachedPlan> cached_gather(const MachineTree& tree,
+                                                      std::size_t n,
+                                                      int root_pid,
+                                                      Shares shares) {
+  return PlanCache::global().get(tree,
+                                 PlanRequest{.kind = CollectiveKind::kGather,
+                                             .n = n,
+                                             .root_pid = root_pid,
+                                             .shares = shares});
+}
+
+/// The memoized plan for a two-phase broadcast request.
+std::shared_ptr<const coll::CachedPlan> cached_broadcast(
+    const MachineTree& tree, std::size_t n, int root_pid, Shares shares) {
+  return PlanCache::global().get(tree,
+                                 PlanRequest{.kind = CollectiveKind::kBroadcast,
+                                             .n = n,
+                                             .root_pid = root_pid,
+                                             .shares = shares,
+                                             .top_phase = TopPhase::kTwoPhase});
+}
 
 SweepGrid grid_of(const FigureConfig& config) {
   return {config.processors, config.kbytes, config.noise.seed};
@@ -30,8 +56,7 @@ bytemark::NoiseOptions cell_noise(const FigureConfig& config,
 
 double simulate_makespan(const MachineTree& tree, const CommSchedule& schedule,
                          const sim::SimParams& params) {
-  sim::ClusterSim simulator{tree, params};
-  return simulator.run(schedule).makespan;
+  return ScenarioCache::global().makespan(tree, schedule, params);
 }
 
 MachineTree make_ranked_testbed(int p, const FigureConfig& config) {
@@ -65,16 +90,10 @@ ImprovementTable gather_root_experiment(const FigureConfig& config,
     const MachineTree tree = make_paper_testbed(cell.p, config.g, config.L);
     const int fast = tree.coordinator_pid(tree.root());
     const int slow = tree.slowest_pid(tree.root());
-    const double t_f = simulate_makespan(
-        tree,
-        coll::plan_gather(tree, cell.n,
-                          {.root_pid = fast, .shares = Shares::kEqual}),
-        config.sim);
-    const double t_s = simulate_makespan(
-        tree,
-        coll::plan_gather(tree, cell.n,
-                          {.root_pid = slow, .shares = Shares::kEqual}),
-        config.sim);
+    const auto plan_f = cached_gather(tree, cell.n, fast, Shares::kEqual);
+    const auto plan_s = cached_gather(tree, cell.n, slow, Shares::kEqual);
+    const double t_f = simulate_makespan(tree, plan_f->schedule, config.sim);
+    const double t_s = simulate_makespan(tree, plan_s->schedule, config.sim);
     return t_s / t_f;
   });
 }
@@ -85,16 +104,10 @@ ImprovementTable gather_balance_experiment(const FigureConfig& config,
     const MachineTree tree =
         make_ranked_testbed(cell.p, config, cell_noise(config, cell));
     const int fast = tree.coordinator_pid(tree.root());
-    const double t_u = simulate_makespan(
-        tree,
-        coll::plan_gather(tree, cell.n,
-                          {.root_pid = fast, .shares = Shares::kEqual}),
-        config.sim);
-    const double t_b = simulate_makespan(
-        tree,
-        coll::plan_gather(tree, cell.n,
-                          {.root_pid = fast, .shares = Shares::kBalanced}),
-        config.sim);
+    const auto plan_u = cached_gather(tree, cell.n, fast, Shares::kEqual);
+    const auto plan_b = cached_gather(tree, cell.n, fast, Shares::kBalanced);
+    const double t_u = simulate_makespan(tree, plan_u->schedule, config.sim);
+    const double t_b = simulate_makespan(tree, plan_b->schedule, config.sim);
     return t_u / t_b;
   });
 }
@@ -105,15 +118,10 @@ ImprovementTable broadcast_root_experiment(const FigureConfig& config,
     const MachineTree tree = make_paper_testbed(cell.p, config.g, config.L);
     const int fast = tree.coordinator_pid(tree.root());
     const int slow = tree.slowest_pid(tree.root());
-    const BroadcastOptions from_fast{.root_pid = fast,
-                                     .top_phase = TopPhase::kTwoPhase,
-                                     .shares = Shares::kEqual};
-    BroadcastOptions from_slow = from_fast;
-    from_slow.root_pid = slow;
-    const double t_f = simulate_makespan(
-        tree, coll::plan_broadcast(tree, cell.n, from_fast), config.sim);
-    const double t_s = simulate_makespan(
-        tree, coll::plan_broadcast(tree, cell.n, from_slow), config.sim);
+    const auto plan_f = cached_broadcast(tree, cell.n, fast, Shares::kEqual);
+    const auto plan_s = cached_broadcast(tree, cell.n, slow, Shares::kEqual);
+    const double t_f = simulate_makespan(tree, plan_f->schedule, config.sim);
+    const double t_s = simulate_makespan(tree, plan_s->schedule, config.sim);
     return t_s / t_f;
   });
 }
@@ -124,15 +132,10 @@ ImprovementTable broadcast_balance_experiment(const FigureConfig& config,
     const MachineTree tree =
         make_ranked_testbed(cell.p, config, cell_noise(config, cell));
     const int fast = tree.coordinator_pid(tree.root());
-    const BroadcastOptions equal{.root_pid = fast,
-                                 .top_phase = TopPhase::kTwoPhase,
-                                 .shares = Shares::kEqual};
-    BroadcastOptions balanced = equal;
-    balanced.shares = Shares::kBalanced;
-    const double t_u = simulate_makespan(
-        tree, coll::plan_broadcast(tree, cell.n, equal), config.sim);
-    const double t_b = simulate_makespan(
-        tree, coll::plan_broadcast(tree, cell.n, balanced), config.sim);
+    const auto plan_u = cached_broadcast(tree, cell.n, fast, Shares::kEqual);
+    const auto plan_b = cached_broadcast(tree, cell.n, fast, Shares::kBalanced);
+    const double t_u = simulate_makespan(tree, plan_u->schedule, config.sim);
+    const double t_b = simulate_makespan(tree, plan_b->schedule, config.sim);
     return t_u / t_b;
   });
 }

@@ -48,7 +48,10 @@ struct FigureConfig {
   int threads = 1;  ///< sweep worker threads; < 1 uses the hardware count
 };
 
-/// Simulated makespan of a schedule on a machine.
+/// Simulated makespan of a schedule on a machine, served through
+/// exp::ScenarioCache::global(): the first request for a (machine, schedule,
+/// params) scenario simulates; repeats return the memoized makespan and
+/// replay the identical sim.* registry contribution.
 [[nodiscard]] double simulate_makespan(const MachineTree& tree,
                                        const CommSchedule& schedule,
                                        const sim::SimParams& params);

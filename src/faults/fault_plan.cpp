@@ -5,6 +5,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 
 namespace hbsp::faults {
@@ -18,6 +19,25 @@ enum : std::uint64_t { kSlowdownStream = 1, kDropStream = 2, kLossStream = 3 };
 
 bool FaultPlan::empty() const noexcept {
   return slowdowns.empty() && drops.empty() && message_loss_probability <= 0.0;
+}
+
+std::uint64_t FaultPlan::fingerprint() const {
+  util::Hash64 hash;
+  hash.add(slowdowns.size());
+  for (const SlowdownWindow& w : slowdowns) {
+    hash.add_int(w.pid);
+    hash.add_double(w.begin);
+    hash.add_double(w.end);
+    hash.add_double(w.factor);
+  }
+  hash.add(drops.size());
+  for (const MachineDrop& d : drops) {
+    hash.add_int(d.pid);
+    hash.add_double(d.time);
+  }
+  hash.add_double(message_loss_probability);
+  hash.add(loss_seed);
+  return hash.digest();
 }
 
 void FaultPlan::validate() const {

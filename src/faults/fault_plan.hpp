@@ -58,6 +58,13 @@ struct FaultPlan {
   /// window is inverted or non-positive, any pid is negative, any drop time
   /// is negative, or the loss probability is outside [0, 1].
   void validate() const;
+
+  /// Stable hash of the whole disturbance script (windows, drops, loss
+  /// probability and seed, all by bit pattern). Plans with equal
+  /// fingerprints perturb a simulation identically; the scenario cache keys
+  /// on it. The empty plan hashes like any other value — callers who want
+  /// "no injector" distinct from "empty plan" must encode that themselves.
+  [[nodiscard]] std::uint64_t fingerprint() const;
 };
 
 /// Knobs of the deterministic chaos-plan generator used by the chaos sweeps.

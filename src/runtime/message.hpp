@@ -69,6 +69,56 @@ class PackBuffer {
   std::vector<std::byte> bytes_;
 };
 
+/// Recycles payload vectors between supersteps so a replay-style program
+/// stops paying one allocation per message.
+///
+/// Hbsp::send takes ownership of its payload vector and recv_all hands the
+/// delivered payloads back, so the natural lifecycle is: acquire() a buffer
+/// per send, then recycle() everything recv_all returned once the superstep's
+/// messages are consumed. acquire() zero-fills, so a recycled buffer is
+/// indistinguishable from a fresh one.
+///
+/// NOT thread-safe by design: the runtime invokes the same Program from every
+/// pid thread, so each invocation keeps its own pool as a local (per-thread)
+/// variable. acquires()/reuses() let callers publish deterministic totals —
+/// the per-pid counts are a pure function of the program, independent of
+/// thread scheduling.
+class BufferPool {
+ public:
+  /// A zero-filled buffer of `bytes` bytes, reusing pooled capacity when any
+  /// is available.
+  [[nodiscard]] std::vector<std::byte> acquire(std::size_t bytes) {
+    ++acquires_;
+    if (free_.empty()) return std::vector<std::byte>(bytes, std::byte{0});
+    ++reuses_;
+    std::vector<std::byte> buffer = std::move(free_.back());
+    free_.pop_back();
+    buffer.assign(bytes, std::byte{0});
+    return buffer;
+  }
+
+  /// Returns one buffer's storage to the pool.
+  void release(std::vector<std::byte>&& buffer) {
+    free_.push_back(std::move(buffer));
+  }
+
+  /// Strips the payloads off delivered messages and pools their storage.
+  void recycle(std::vector<Message>&& messages) {
+    for (Message& message : messages) {
+      free_.push_back(std::move(message.payload));
+    }
+  }
+
+  [[nodiscard]] std::size_t pooled() const noexcept { return free_.size(); }
+  [[nodiscard]] std::size_t acquires() const noexcept { return acquires_; }
+  [[nodiscard]] std::size_t reuses() const noexcept { return reuses_; }
+
+ private:
+  std::vector<std::vector<std::byte>> free_;
+  std::size_t acquires_ = 0;
+  std::size_t reuses_ = 0;
+};
+
 /// Sequential typed reader over a message payload (PVM pvm_upk* style).
 class UnpackBuffer {
  public:

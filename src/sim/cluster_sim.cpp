@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <map>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
@@ -20,7 +19,8 @@ ClusterSim::ClusterSim(const MachineTree& tree, SimParams params,
       network_(tree, params_),
       trace_(tree.num_processors(), record_events),
       clock_(static_cast<std::size_t>(tree.num_processors()), 0.0),
-      excluded_(static_cast<std::size_t>(tree.num_processors()), 0) {
+      excluded_(static_cast<std::size_t>(tree.num_processors()), 0),
+      net_busy_(network_.num_slots(), 0.0) {
   params_.validate();
 }
 
@@ -40,6 +40,10 @@ void ClusterSim::reset() {
   std::fill(excluded_.begin(), excluded_.end(), 0);
   excluded_pids_.clear();
   fault_stats_ = FaultStats{};
+  run_metrics_ = RunMetrics{};
+  arrivals_.clear();
+  for (const std::size_t s : net_touched_) net_busy_[s] = 0.0;
+  net_touched_.clear();
   if (faults_ != nullptr && trace_.recording_events()) {
     // Make the planned slowdown windows visible in the event trace up front;
     // drops/losses/retries are recorded when the run encounters them.
@@ -89,7 +93,32 @@ SimResult ClusterSim::run(const CommSchedule& schedule) {
   auto& registry = obs::Registry::global();
   registry.counter("sim.runs").increment();
   registry.histogram("sim.run_makespan_seconds").record(result.makespan);
+  ++run_metrics_.runs;
+  run_metrics_.run_makespan_seconds.push_back(result.makespan);
   return result;
+}
+
+void replay_run_metrics(const RunMetrics& metrics) {
+  auto& registry = obs::Registry::global();
+  registry.counter("sim.runs").add(metrics.runs);
+  registry.counter("sim.phases").add(metrics.phases);
+  registry.counter("sim.plans").add(metrics.plans);
+  registry.counter("sim.ghost_plans").add(metrics.ghost_plans);
+  registry.counter("sim.send_attempts").add(metrics.send_attempts);
+  registry.counter("sim.messages_delivered").add(metrics.messages_delivered);
+  registry.counter("sim.messages_lost").add(metrics.messages_lost);
+  registry.counter("sim.retries").add(metrics.retries);
+  registry.counter("sim.machines_excluded").add(metrics.machines_excluded);
+  registry.counter("sim.barriers").add(metrics.barriers);
+  registry.counter("sim.barrier_stalls").add(metrics.barrier_stalls);
+  registry.counter("sim.slowdown_hits").add(metrics.slowdown_hits);
+  registry.counter("sim.events").add(metrics.events);
+  obs::Histogram wire = registry.histogram("sim.plan_wire_seconds");
+  for (const double s : metrics.plan_wire_seconds) wire.record(s);
+  obs::Histogram span = registry.histogram("sim.plan_span_seconds");
+  for (const double s : metrics.plan_span_seconds) span.record(s);
+  obs::Histogram makespan = registry.histogram("sim.run_makespan_seconds");
+  for (const double s : metrics.run_makespan_seconds) makespan.record(s);
 }
 
 std::vector<PlanTiming> ClusterSim::execute_phase(const Phase& phase) {
@@ -121,6 +150,26 @@ void ClusterSim::flush_metrics() {
   for (const double s : tally_.plan_wire_seconds) wire.record(s);
   obs::Histogram span = registry.histogram("sim.plan_span_seconds");
   for (const double s : tally_.plan_span_seconds) span.record(s);
+  // Mirror the whole flush into the run capture so replay_run_metrics can
+  // repeat this run's registry contribution verbatim.
+  ++run_metrics_.phases;
+  run_metrics_.plans += tally_.plans;
+  run_metrics_.ghost_plans += tally_.ghost_plans;
+  run_metrics_.send_attempts += tally_.send_attempts;
+  run_metrics_.messages_delivered += tally_.messages_delivered;
+  run_metrics_.messages_lost += tally_.messages_lost;
+  run_metrics_.retries += tally_.retries;
+  run_metrics_.machines_excluded += tally_.machines_excluded;
+  run_metrics_.barriers += tally_.barriers;
+  run_metrics_.barrier_stalls += tally_.barrier_stalls;
+  run_metrics_.slowdown_hits += tally_.slowdown_hits;
+  run_metrics_.events += events - tally_.events_seen;
+  run_metrics_.plan_wire_seconds.insert(run_metrics_.plan_wire_seconds.end(),
+                                        tally_.plan_wire_seconds.begin(),
+                                        tally_.plan_wire_seconds.end());
+  run_metrics_.plan_span_seconds.insert(run_metrics_.plan_span_seconds.end(),
+                                        tally_.plan_span_seconds.begin(),
+                                        tally_.plan_span_seconds.end());
   tally_ = MetricsTally{};
   tally_.events_seen = events;
 }
@@ -154,8 +203,8 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
       excluded_pids_.push_back(pid);
       ++fault_stats_.machines_excluded;
       ++tally_.machines_excluded;
-      trace_.record({clock_[slot], EventKind::kMachineDrop, pid, -1, 0,
-                     plan.label});
+      trace_.record(clock_[slot], EventKind::kMachineDrop, pid, -1, 0,
+                     plan.label);
     }
     timing.start = timing.work_end = timing.wire_end = timing.barrier_exit =
         frozen;
@@ -171,34 +220,23 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
     if (slow != 1.0) ++tally_.slowdown_hits;
     const double seconds = work.ops * tree_->processor_compute_r(work.pid) *
                            seconds_per_op_ * load_factor(work.pid) * slow;
-    trace_.record({clock_[slot], EventKind::kComputeStart, work.pid, -1,
-                   static_cast<std::size_t>(work.ops), plan.label});
+    trace_.record(clock_[slot], EventKind::kComputeStart, work.pid, -1,
+                   static_cast<std::size_t>(work.ops), plan.label);
     clock_[slot] += seconds;
     trace_.note_compute(work.pid, seconds);
-    trace_.record({clock_[slot], EventKind::kComputeEnd, work.pid, -1,
-                   static_cast<std::size_t>(work.ops), plan.label});
+    trace_.record(clock_[slot], EventKind::kComputeEnd, work.pid, -1,
+                   static_cast<std::size_t>(work.ops), plan.label);
   }
 
-  // 2. Sends, serialised per sender in issue order. Arrival times land in
-  //    per-receiver queues keyed by (time, issue sequence) for determinism.
-  //    Under faults a lost attempt is re-sent after an exponential-backoff
-  //    timeout; every attempt re-pays the sender overhead and the wire
-  //    occupancy of each crossed network, so resilience is never free.
-  struct Arrival {
-    double time;
-    std::size_t seq;
-    int src;
-    std::size_t items;
-    double lambda;  ///< §6 destination-cost weight of this message
-    bool operator<(const Arrival& other) const {
-      return time != other.time ? time < other.time : seq < other.seq;
-    }
-  };
-  std::map<int, std::vector<Arrival>> inbox;
+  // 2. Sends, serialised per sender in issue order. Arrivals land in the
+  //    pooled heap keyed (dst, time, issue sequence) for determinism; the
+  //    per-network shared-medium occupancy accumulates into the dense
+  //    net_busy_ scratch (both reused across plans, no allocation on the
+  //    steady state). Under faults a lost attempt is re-sent after an
+  //    exponential-backoff timeout; every attempt re-pays the sender
+  //    overhead and the wire occupancy of each crossed network, so
+  //    resilience is never free.
   double plan_wire_seconds = 0.0;
-  // Shared-medium occupancy this superstep, accumulated per attempt (the
-  // plan-level throughput bound applied at the closing barrier).
-  std::map<std::size_t, double> busy_per_network;
   std::size_t seq = 0;
   for (const auto& t : plan.transfers) {
     ++seq;
@@ -221,8 +259,8 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
       if (attempt > 1) {
         ++fault_stats_.retries;
         ++tally_.retries;
-        trace_.record({clock_[slot], EventKind::kRetry, t.src_pid, t.dst_pid,
-                       t.items, plan.label});
+        trace_.record(clock_[slot], EventKind::kRetry, t.src_pid, t.dst_pid,
+                       t.items, plan.label);
       }
       const double send_slow = fault_slow(t.src_pid, clock_[slot]);
       if (send_slow != 1.0) ++tally_.slowdown_hits;
@@ -230,12 +268,12 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
           (params_.o_send * r +
            tree_->g() * r * lambda * static_cast<double>(t.items)) *
           load_factor(t.src_pid) * send_slow;
-      trace_.record({clock_[slot], EventKind::kSendStart, t.src_pid, t.dst_pid,
-                     t.items, plan.label});
+      trace_.record(clock_[slot], EventKind::kSendStart, t.src_pid, t.dst_pid,
+                     t.items, plan.label);
       clock_[slot] += busy;
       trace_.note_send(t.src_pid, t.items, busy);
-      trace_.record({clock_[slot], EventKind::kSendEnd, t.src_pid, t.dst_pid,
-                     t.items, plan.label});
+      trace_.record(clock_[slot], EventKind::kSendEnd, t.src_pid, t.dst_pid,
+                     t.items, plan.label);
 
       // Charge shared-medium occupancy on every crossed network.
       route_scratch_.clear();
@@ -249,9 +287,9 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
         stats.wire_seconds += wire;
         plan_wire_seconds += wire;
         if (params_.model_wire_contention) {
-          const auto key = static_cast<std::size_t>(net.level) * 100000u +
-                           static_cast<std::size_t>(net.index);
-          busy_per_network[key] += wire;
+          const std::size_t net_slot = network_.slot(net);
+          if (net_busy_[net_slot] == 0.0) net_touched_.push_back(net_slot);
+          net_busy_[net_slot] += wire;
         }
       }
 
@@ -264,16 +302,16 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
           (dst_dead ||
            (!final_attempt && faults_->lose_message(message_key, attempt)));
       if (!lost) {
-        trace_.record({arrival, EventKind::kArrival, t.dst_pid, t.src_pid,
-                       t.items, plan.label});
-        inbox[t.dst_pid].push_back({arrival, seq, t.src_pid, t.items, lambda});
+        trace_.record(arrival, EventKind::kArrival, t.dst_pid, t.src_pid,
+                      t.items, plan.label);
+        arrivals_.push({t.dst_pid, arrival, seq, t.src_pid, t.items, lambda});
         ++tally_.messages_delivered;
         break;
       }
       ++fault_stats_.messages_lost;
       ++tally_.messages_lost;
-      trace_.record({arrival, EventKind::kMessageLost, t.dst_pid, t.src_pid,
-                     t.items, plan.label});
+      trace_.record(arrival, EventKind::kMessageLost, t.dst_pid, t.src_pid,
+                     t.items, plan.label);
       if (final_attempt) break;  // the receiver is gone; the sender gives up
       clock_[slot] += timeout;   // wait out the acknowledgement that never comes
       timeout *= params_.retry_backoff;
@@ -281,36 +319,36 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
     }
   }
 
-  // 3. Receives: each receiver drains its inbox in arrival order after
-  //    finishing its own compute and sends.
-  for (auto& [dst, arrivals] : inbox) {
-    std::sort(arrivals.begin(), arrivals.end());
-    const auto slot = static_cast<std::size_t>(dst);
-    const double r = tree_->processor_r(dst);
-    for (const Arrival& a : arrivals) {
-      const double start = std::max(clock_[slot], a.time);
-      if (dead_at(dst, start)) {
-        // The receiver died between the wire and the drain: the payload is
-        // lost with the machine.
-        ++fault_stats_.messages_lost;
-        ++tally_.messages_lost;
-        trace_.record({start, EventKind::kMessageLost, dst, a.src, a.items,
-                       plan.label});
-        continue;
-      }
-      const double recv_slow = fault_slow(dst, start);
-      if (recv_slow != 1.0) ++tally_.slowdown_hits;
-      const double busy =
-          (params_.o_recv * r + params_.recv_ratio * tree_->g() * r * a.lambda *
-                                    static_cast<double>(a.items)) *
-          load_factor(dst) * recv_slow;
-      trace_.record({start, EventKind::kRecvStart, dst, a.src, a.items,
-                     plan.label});
-      clock_[slot] = start + busy;
-      trace_.note_recv(dst, a.items, busy);
-      trace_.record({clock_[slot], EventKind::kRecvEnd, dst, a.src, a.items,
-                     plan.label});
+  // 3. Receives: popping the (dst, time, seq)-keyed heap visits receivers in
+  //    pid order and each receiver's messages in arrival order — the same
+  //    sequence the per-receiver sorted queues produced — after each has
+  //    finished its own compute and sends.
+  while (!arrivals_.empty()) {
+    const Arrival a = arrivals_.pop();
+    const auto slot = static_cast<std::size_t>(a.dst);
+    const double start = std::max(clock_[slot], a.time);
+    if (dead_at(a.dst, start)) {
+      // The receiver died between the wire and the drain: the payload is
+      // lost with the machine.
+      ++fault_stats_.messages_lost;
+      ++tally_.messages_lost;
+      trace_.record(start, EventKind::kMessageLost, a.dst, a.src, a.items,
+                    plan.label);
+      continue;
     }
+    const double r = tree_->processor_r(a.dst);
+    const double recv_slow = fault_slow(a.dst, start);
+    if (recv_slow != 1.0) ++tally_.slowdown_hits;
+    const double busy =
+        (params_.o_recv * r + params_.recv_ratio * tree_->g() * r * a.lambda *
+                                  static_cast<double>(a.items)) *
+        load_factor(a.dst) * recv_slow;
+    trace_.record(start, EventKind::kRecvStart, a.dst, a.src, a.items,
+                  plan.label);
+    clock_[slot] = start + busy;
+    trace_.note_recv(a.dst, a.items, busy);
+    trace_.record(clock_[slot], EventKind::kRecvEnd, a.dst, a.src, a.items,
+                  plan.label);
   }
 
   // 4. Shared-medium throughput bound per crossed network, measured from the
@@ -324,10 +362,12 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
     timing.work_end = std::max(timing.work_end, clock_[slot]);
   }
   timing.wire_end = timing.start;
-  for (const auto& [key, busy] : busy_per_network) {
-    (void)key;
-    timing.wire_end = std::max(timing.wire_end, timing.start + busy);
+  for (const std::size_t net_slot : net_touched_) {
+    timing.wire_end =
+        std::max(timing.wire_end, timing.start + net_busy_[net_slot]);
+    net_busy_[net_slot] = 0.0;  // leave the scratch clean for the next plan
   }
+  net_touched_.clear();
 
   // 5. Barrier: everyone in scope jumps to the common exit time. A dropped,
   //    not-yet-excluded member stalls the scope: survivors wait the failure
@@ -357,8 +397,8 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
         excluded_pids_.push_back(pid);
         ++fault_stats_.machines_excluded;
         ++tally_.machines_excluded;
-        trace_.record({timing.barrier_exit, EventKind::kMachineDrop, pid, -1,
-                       0, plan.label});
+        trace_.record(timing.barrier_exit, EventKind::kMachineDrop, pid, -1,
+                       0, plan.label);
         // The corpse's clock freezes at its last sign of life.
         clock_[slot] = std::min(clock_[slot], faults_->drop_time(pid));
       }
@@ -367,11 +407,11 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
   for (int pid = first; pid < last; ++pid) {
     const auto slot = static_cast<std::size_t>(pid);
     if (dead_at(pid, clock_[slot])) continue;  // the dead do not synchronise
-    trace_.record({clock_[slot], EventKind::kBarrierEnter, pid, -1, 0,
-                   plan.label});
+    trace_.record(clock_[slot], EventKind::kBarrierEnter, pid, -1, 0,
+                   plan.label);
     clock_[slot] = timing.barrier_exit;
-    trace_.record({timing.barrier_exit, EventKind::kBarrierExit, pid, -1, 0,
-                   plan.label});
+    trace_.record(timing.barrier_exit, EventKind::kBarrierExit, pid, -1, 0,
+                   plan.label);
   }
   tally_.plan_wire_seconds.push_back(plan_wire_seconds);
   tally_.plan_span_seconds.push_back(timing.barrier_exit - timing.start);

@@ -35,6 +35,7 @@
 #include "core/machine.hpp"
 #include "core/schedule.hpp"
 #include "faults/injector.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/network.hpp"
 #include "sim/sim_params.hpp"
 #include "sim/trace.hpp"
@@ -62,6 +63,37 @@ struct FaultStats {
   std::size_t retries = 0;        ///< re-sends after a loss timeout
   std::size_t machines_excluded = 0;  ///< dropouts the detector excluded
 };
+
+/// Everything a run contributed to the global obs registry (the `sim.*`
+/// counter and histogram family), captured alongside the SimResult so a
+/// scenario-cache hit can replay the identical contribution without
+/// re-simulating. Counter fields are deltas; the histogram fields hold the
+/// recorded values verbatim, so replaying preserves bucket counts, sums, and
+/// min/max bit-exactly.
+struct RunMetrics {
+  std::size_t runs = 0;
+  std::size_t phases = 0;
+  std::size_t plans = 0;
+  std::size_t ghost_plans = 0;
+  std::size_t send_attempts = 0;
+  std::size_t messages_delivered = 0;
+  std::size_t messages_lost = 0;
+  std::size_t retries = 0;
+  std::size_t machines_excluded = 0;
+  std::size_t barriers = 0;
+  std::size_t barrier_stalls = 0;
+  std::size_t slowdown_hits = 0;
+  std::size_t events = 0;
+  std::vector<double> plan_wire_seconds;
+  std::vector<double> plan_span_seconds;
+  std::vector<double> run_makespan_seconds;
+};
+
+/// Adds `metrics` to obs::Registry::global() exactly as the run that
+/// captured them did: same counters, same histogram samples, same values.
+/// Registry totals are therefore a pure function of which runs (fresh or
+/// replayed) contributed, not of which were cache hits.
+void replay_run_metrics(const RunMetrics& metrics);
 
 class ClusterSim {
  public:
@@ -113,8 +145,34 @@ class ClusterSim {
     return fault_stats_;
   }
 
+  /// The `sim.*` registry contribution accumulated since the last reset()
+  /// (i.e. of the last run()). Feed to replay_run_metrics to repeat it.
+  [[nodiscard]] const RunMetrics& run_metrics() const noexcept {
+    return run_metrics_;
+  }
+
  private:
   PlanTiming execute_plan(const SuperstepPlan& plan);
+
+  /// One delivered (or pending) message in flight to a receiver. Keyed
+  /// (dst, time, issue seq): popping the arrival heap in that order is
+  /// exactly the old per-receiver drain — receivers in pid order, each
+  /// receiver's messages in (arrival time, issue order). seq is unique per
+  /// transfer within a plan, so the order is strict and the heap's pop
+  /// sequence is push-order independent.
+  struct Arrival {
+    int dst;
+    double time;
+    std::size_t seq;
+    int src;
+    std::size_t items;
+    double lambda;  ///< §6 destination-cost weight of this message
+    bool operator<(const Arrival& other) const {
+      if (dst != other.dst) return dst < other.dst;
+      if (time != other.time) return time < other.time;
+      return seq < other.seq;
+    }
+  };
 
   /// Instrumentation accumulated while executing plans, flushed into
   /// obs::Registry::global() once per phase (the `sim.*` counter family).
@@ -168,6 +226,13 @@ class ClusterSim {
   std::vector<int> excluded_pids_;
   FaultStats fault_stats_;
   MetricsTally tally_;
+  RunMetrics run_metrics_;
+  /// Reused across plans (capacity survives); always drained empty.
+  EventQueue<Arrival> arrivals_;
+  /// Dense per-network wire occupancy of the current plan, indexed by
+  /// Network::slot; `net_touched_` lists the slots to reset afterwards.
+  std::vector<double> net_busy_;
+  std::vector<std::size_t> net_touched_;
 };
 
 }  // namespace hbsp::sim

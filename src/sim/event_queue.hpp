@@ -1,0 +1,66 @@
+#pragma once
+// A flat binary min-heap for the simulator's hot loops.
+//
+// std::map-based event storage allocates a node per entry; draining a sweep's
+// arrival queues that way costs one malloc/free per message. EventQueue keeps
+// everything in one contiguous vector whose capacity survives clear(), so a
+// ClusterSim reused across plans pushes and pops events with no allocation at
+// all once the high-water mark is reached.
+//
+// Determinism: pop() returns the minimum under T's operator< each call. When
+// keys are strictly totally ordered (the simulator keys arrivals by
+// (dst, time, issue seq), and seq is unique within a plan) the pop sequence
+// is the unique sorted order — independent of push order and of the heap's
+// internal layout.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace hbsp::sim {
+
+template <typename T>
+class EventQueue {
+ public:
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Drops all entries but keeps the underlying capacity.
+  void clear() noexcept { heap_.clear(); }
+
+  void push(T value) {
+    heap_.push_back(std::move(value));
+    std::size_t child = heap_.size() - 1;
+    while (child > 0) {
+      const std::size_t parent = (child - 1) / 2;
+      if (!(heap_[child] < heap_[parent])) break;
+      std::swap(heap_[child], heap_[parent]);
+      child = parent;
+    }
+  }
+
+  /// Removes and returns the minimum element. Precondition: !empty().
+  T pop() {
+    T out = std::move(heap_.front());
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    std::size_t parent = 0;
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t left = 2 * parent + 1;
+      if (left >= n) break;
+      const std::size_t right = left + 1;
+      std::size_t least = left;
+      if (right < n && heap_[right] < heap_[left]) least = right;
+      if (!(heap_[least] < heap_[parent])) break;
+      std::swap(heap_[parent], heap_[least]);
+      parent = least;
+    }
+    return out;
+  }
+
+ private:
+  std::vector<T> heap_;
+};
+
+}  // namespace hbsp::sim

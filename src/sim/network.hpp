@@ -33,11 +33,15 @@ class Network {
   [[nodiscard]] const NetworkStats& stats(MachineId id) const;
   [[nodiscard]] NetworkStats& stats(MachineId id);
 
+  /// Dense index of `id` in [0, num_slots()): flat (level, index) numbering,
+  /// exposed so the simulator can keep per-network occupancy in a plain
+  /// vector instead of a map.
+  [[nodiscard]] std::size_t slot(MachineId id) const;
+  [[nodiscard]] std::size_t num_slots() const noexcept { return stats_.size(); }
+
   void reset();
 
  private:
-  [[nodiscard]] std::size_t slot(MachineId id) const;
-
   const MachineTree* tree_;
   const SimParams* params_;
   std::vector<std::size_t> level_offsets_;  ///< flat indexing of (level, index)

@@ -2,7 +2,29 @@
 
 #include <stdexcept>
 
+#include "util/hash.hpp"
+
 namespace hbsp::sim {
+
+std::uint64_t SimParams::fingerprint() const {
+  util::Hash64 hash;
+  hash.add_double(recv_ratio);
+  hash.add_double(o_send);
+  hash.add_double(o_recv);
+  hash.add_double(wire_factor_base);
+  hash.add_double(wire_level_scale);
+  hash.add(model_wire_contention ? 1u : 0u);
+  hash.add_double(latency_base);
+  hash.add_double(latency_level_scale);
+  hash.add_double(seconds_per_op);
+  hash.add_double(load_stddev);
+  hash.add(load_seed);
+  hash.add_double(retry_timeout);
+  hash.add_double(retry_backoff);
+  hash.add_int(max_send_attempts);
+  hash.add_double(failure_detector_multiple);
+  return hash.digest();
+}
 
 void SimParams::validate() const {
   if (recv_ratio < 0.0) throw std::invalid_argument{"SimParams: recv_ratio < 0"};

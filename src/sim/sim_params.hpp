@@ -91,6 +91,11 @@ struct SimParams {
   /// out of range; called by ClusterSim on construction so an invalid params
   /// struct fails loudly instead of producing nonsense timings.
   void validate() const;
+
+  /// Stable hash of every field (bit patterns of the doubles). Two params
+  /// with equal fingerprints drive the simulator identically; the scenario
+  /// cache keys on it.
+  [[nodiscard]] std::uint64_t fingerprint() const;
 };
 
 }  // namespace hbsp::sim

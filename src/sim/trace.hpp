@@ -71,6 +71,19 @@ class Trace {
         pid_stats_(static_cast<std::size_t>(num_pids)) {}
 
   void record(TraceEvent event);
+
+  /// Hot-path form: counts the event but only materialises the TraceEvent
+  /// (and copies `label`) when event recording is on. The simulator calls
+  /// this several times per message; with recording off it is a counter
+  /// increment, not a std::string construction.
+  void record(double time, EventKind kind, int pid, int peer,
+              std::size_t items, const std::string& label) {
+    ++events_recorded_;
+    if (record_events_) {
+      events_.push_back({time, kind, pid, peer, items, label});
+    }
+  }
+
   void note_send(int pid, std::size_t items, double seconds);
   void note_recv(int pid, std::size_t items, double seconds);
   void note_compute(int pid, double seconds);

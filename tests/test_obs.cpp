@@ -13,12 +13,16 @@
 #include <thread>
 #include <vector>
 
+#include "collectives/plan_cache.hpp"
 #include "collectives/planners.hpp"
+#include "collectives/schedule_replay.hpp"
 #include "core/topology.hpp"
 #include "experiments/chaos.hpp"
+#include "experiments/scenario_cache.hpp"
 #include "faults/injector.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "runtime/hbsplib.hpp"
 #include "sim/cluster_sim.hpp"
 
 namespace hbsp {
@@ -211,17 +215,58 @@ TEST(ObsSim, CountersReconcileUnderMessageLoss) {
   EXPECT_GT(lost, 0u) << "seed 99 at 20% loss should lose something";
 }
 
+TEST(ObsRuntime, ReplayPoolTalliesReconcileWithScheduleAndSim) {
+  // Three independent accountings of the same schedule must agree: the
+  // schedule's own message count, the sim.* tallies perf_snapshot publishes
+  // (the runtime's virtual clock runs on the cluster simulator, so one
+  // replay produces both families), and the replay's buffer-pool counters
+  // (one acquire per send).
+  auto& registry = Registry::global();
+  registry.reset();
+
+  const MachineTree tree = make_figure1_cluster();
+  const CommSchedule schedule = coll::plan_gather(tree, 100000, {});
+  std::uint64_t sendable = 0;
+  for (const auto& phase : schedule.phases) {
+    for (const auto& plan : phase.plans) {
+      for (const auto& t : plan.transfers) {
+        if (t.src_pid != t.dst_pid && t.items > 0) ++sendable;
+      }
+    }
+  }
+
+  (void)rt::run_program(tree, sim::SimParams{},
+                        coll::make_replay_program(tree, schedule));
+
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(sendable, schedule.total_messages());
+  EXPECT_EQ(snap.counter("rt.pool.acquires"), sendable);
+  EXPECT_EQ(snap.counter("sim.send_attempts"), sendable);
+  EXPECT_EQ(snap.counter("sim.messages_delivered"), sendable);
+  // The gather is multi-level, so buffers recycled after the leaf superstep
+  // feed the forwarding supersteps: the pool must actually reuse.
+  EXPECT_GT(snap.counter("rt.pool.reuses"), 0u);
+  EXPECT_LE(snap.counter("rt.pool.reuses"), snap.counter("rt.pool.acquires"));
+}
+
 TEST(ObsSweep, ChaosCountersAreThreadCountInvariant) {
   // The CI gate's core claim, in-process: the merged counter totals of a
   // chaos sweep are identical at 1 and 4 threads — names and values both.
   auto& registry = Registry::global();
 
+  // Both sweeps must start cache-cold, exactly as two separate processes
+  // would: a warm plan/scenario cache shifts misses to hits between sweeps,
+  // which is the one legitimate way their counters may differ.
   registry.reset();
+  coll::PlanCache::global().clear();
+  exp::ScenarioCache::global().clear();
   exp::SweepRunner serial{1};
   (void)exp::chaos_sweep(small_chaos(1), serial);
   const auto counters_t1 = counter_map(registry.snapshot());
 
   registry.reset();
+  coll::PlanCache::global().clear();
+  exp::ScenarioCache::global().clear();
   exp::SweepRunner parallel{4};
   (void)exp::chaos_sweep(small_chaos(4), parallel);
   const auto counters_t4 = counter_map(registry.snapshot());

@@ -11,10 +11,17 @@
 #include <atomic>
 
 #include "collectives/executors.hpp"
+#include "collectives/plan_cache.hpp"
 #include "collectives/planners.hpp"
+#include "collectives/resilience.hpp"
 #include "collectives/schedule_replay.hpp"
 #include "core/cost_model.hpp"
 #include "core/topology.hpp"
+#include "experiments/chaos.hpp"
+#include "experiments/figures.hpp"
+#include "experiments/scenario_cache.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/injector.hpp"
 #include "sim/cluster_sim.hpp"
 #include "util/rng.hpp"
 
@@ -155,8 +162,112 @@ TEST_P(RandomMachineProperty, GatherCostEqualsSimulatedReplay) {
   EXPECT_NEAR(replayed, simulated, 1e-9 * simulated + 1e-15);
 }
 
+TEST_P(RandomMachineProperty, CachedScenarioIsBitIdenticalToDirectSimulation) {
+  // Zero-fault half of the scenario-throughput soundness claim: a makespan
+  // served through the plan + scenario caches equals the seed simulator's
+  // exactly (==, not NEAR) — cold (first request simulates) and warm (the
+  // memoized value) alike.
+  const MachineTree tree = machine();
+  const auto plan = coll::PlanCache::global().get(
+      tree, {.kind = coll::CollectiveKind::kGather,
+             .n = n(),
+             .root_pid = tree.coordinator_pid(tree.root()),
+             .shares = shares()});
+  sim::ClusterSim direct{tree, kParams};
+  const double want = direct.run(plan->schedule).makespan;
+  const double cold = exp::simulate_makespan(tree, plan->schedule, kParams);
+  const double warm = exp::simulate_makespan(tree, plan->schedule, kParams);
+  EXPECT_EQ(cold, want);
+  EXPECT_EQ(warm, want);
+}
+
+TEST_P(RandomMachineProperty, CachedFaultScenarioIsBitIdenticalToDirectSim) {
+  // Same claim under a seeded disturbance: the scenario key folds in the
+  // fault-plan fingerprint, so a faulted run memoizes separately and still
+  // reproduces the direct simulation bit for bit.
+  const MachineTree tree = machine();
+  faults::ChaosOptions options;
+  options.horizon = 0.5;
+  options.slowdown_rate = 2.0;
+  options.slowdown_max_factor = 4.0;
+  options.slowdown_max_duration = 0.1;
+  options.message_loss_probability = 0.05;
+  const faults::FaultPlan plan = faults::make_chaos_plan(
+      tree.num_processors(), options, GetParam() * 131 + 7);
+  const faults::FaultInjector injector{plan};
+  const CommSchedule schedule =
+      coll::plan_gather(tree, n(), {.shares = shares()});
+
+  sim::ClusterSim direct{tree, kParams};
+  direct.set_fault_injector(&injector);
+  const double want = direct.run(schedule).makespan;
+  const double cold =
+      exp::simulate_makespan_with_faults(tree, schedule, kParams, &injector);
+  const double warm =
+      exp::simulate_makespan_with_faults(tree, schedule, kParams, &injector);
+  EXPECT_EQ(cold, want);
+  EXPECT_EQ(warm, want);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomMachineProperty,
                          ::testing::Range<std::uint64_t>(0, 18));
+
+// --- plan caching under degraded-mode re-planning --------------------------
+
+TEST(ResilienceCaching, SurvivorTreeRequestsNeverAliasPreFailureKeys) {
+  // Why run_with_replanning cannot be served a pre-failure plan after an
+  // exclusion: the survivor machine re-fingerprints (renormalised r, pruned
+  // nodes), and the fingerprint is part of every PlanKey, so post-failure
+  // requests key into a disjoint part of the cache by construction.
+  RandomTreeOptions options;
+  options.levels = 2;
+  options.min_fanout = 2;
+  options.max_fanout = 3;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const MachineTree tree = make_random_tree(options, seed * 53 + 29);
+    if (tree.num_processors() < 3) continue;
+    const int dead = tree.num_processors() - 1;
+    const auto survivor =
+        coll::remove_processors(tree, std::array{dead});
+    EXPECT_NE(survivor.tree.fingerprint(), tree.fingerprint()) << seed;
+    const coll::PlanRequest request{
+        .kind = coll::CollectiveKind::kGather, .n = 5000, .root_pid = 0};
+    EXPECT_NE(coll::PlanCache::key_for(tree, request),
+              coll::PlanCache::key_for(survivor.tree, request))
+        << seed;
+  }
+}
+
+TEST(ResilienceCaching, ReplanningIsIdenticalWithColdAndDirtyCaches) {
+  // run_with_replanning plans through the advisor, which serves from the
+  // global plan cache. Whatever the cache holds — empty, or "dirty" with
+  // every plan of the previous (identical) run, including the full-tree
+  // plans that are stale after the exclusion — the degraded run must come
+  // out the same.
+  const MachineTree tree = make_paper_testbed(5);
+  faults::FaultPlan plan;
+  plan.drops = {{4, 0.0}};  // dead from the start: exclusion is guaranteed
+  plan.message_loss_probability = 0.02;
+  plan.loss_seed = 17;
+
+  coll::PlanCache::global().clear();
+  exp::ScenarioCache::global().clear();
+  const auto cold = coll::run_with_replanning(
+      tree, coll::CollectiveKind::kGather, 50000, kParams, plan);
+  ASSERT_GT(cold.replans, 0u);
+  ASSERT_EQ(cold.excluded_pids, std::vector<int>{4});
+
+  // The cold run warmed the cache with both pre- and post-failure plans.
+  const auto dirty = coll::run_with_replanning(
+      tree, coll::CollectiveKind::kGather, 50000, kParams, plan);
+  EXPECT_EQ(dirty.fault_free_makespan, cold.fault_free_makespan);
+  EXPECT_EQ(dirty.degraded_makespan, cold.degraded_makespan);
+  EXPECT_EQ(dirty.excluded_pids, cold.excluded_pids);
+  EXPECT_EQ(dirty.replans, cold.replans);
+  EXPECT_EQ(dirty.messages_lost, cold.messages_lost);
+  EXPECT_EQ(dirty.retries, cold.retries);
+  EXPECT_EQ(dirty.completed, cold.completed);
+}
 
 // --- the k = 3 wide-area grid ----------------------------------------------------
 

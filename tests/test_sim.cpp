@@ -5,7 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "collectives/planners.hpp"
 #include "core/topology.hpp"
+#include "sim/event_queue.hpp"
 
 namespace hbsp::sim {
 namespace {
@@ -253,6 +260,75 @@ TEST(ClusterSim, HigherLevelLatencyScales) {
   EXPECT_DOUBLE_EQ(network.latency(1), 1e-3);
   EXPECT_DOUBLE_EQ(network.latency(2), 1e-2);
   EXPECT_DOUBLE_EQ(network.latency(0), 0.0);
+}
+
+TEST(EventQueue, PopsInKeyOrderForEveryPushOrder) {
+  // The hot-path heap replaced an ordered map; the determinism contract is
+  // that the pop sequence is the sorted key order no matter how pushes were
+  // interleaved. Exhaust every permutation of a key set with duplicates on
+  // the primary component (distinct seq keeps the order strict, as Arrival
+  // does).
+  struct Item {
+    int key;
+    int seq;
+    bool operator<(const Item& other) const {
+      return std::tie(key, seq) < std::tie(other.key, other.seq);
+    }
+    bool operator==(const Item& other) const {
+      return key == other.key && seq == other.seq;
+    }
+  };
+  const std::vector<Item> items = {{3, 0}, {1, 1}, {2, 2},
+                                   {1, 0}, {3, 1}, {0, 0}};
+  std::vector<Item> expected = items;
+  std::sort(expected.begin(), expected.end());
+
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), 0u);
+  EventQueue<Item> queue;
+  do {
+    queue.clear();
+    for (const std::size_t i : order) queue.push(items[i]);
+    ASSERT_EQ(queue.size(), items.size());
+    std::vector<Item> popped;
+    while (!queue.empty()) popped.push_back(queue.pop());
+    ASSERT_EQ(popped, expected);
+  } while (std::next_permutation(order.begin(), order.end()));
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(ClusterSim, ReusedPooledStorageReplaysIdenticalEventTrace) {
+  // Stress the pooled hot path: a simulator whose internal storage (arrival
+  // heap, touched-network list, trace buffers) has been warmed by prior runs
+  // of *different* schedules must replay a recorded trace exactly — same
+  // EventKind sequence, bit-identical virtual times.
+  const MachineTree tree = make_figure1_cluster();
+  const SimParams params;  // full default mechanics
+  const CommSchedule gather = coll::plan_gather(tree, 50000, {});
+  const CommSchedule broadcast = coll::plan_broadcast(tree, 80000, {});
+
+  ClusterSim fresh{tree, params, /*record_events=*/true};
+  const SimResult want = fresh.run(gather);
+  const std::vector<TraceEvent> recorded = fresh.trace().events();
+  ASSERT_FALSE(recorded.empty());
+
+  ClusterSim warm{tree, params, /*record_events=*/true};
+  for (int round = 0; round < 5; ++round) {
+    (void)warm.run(broadcast);  // different shape: pools stretch and shrink
+    (void)warm.run(gather);
+  }
+  const SimResult got = warm.run(gather);
+
+  EXPECT_EQ(got.makespan, want.makespan);
+  const std::vector<TraceEvent>& replayed = warm.trace().events();
+  ASSERT_EQ(replayed.size(), recorded.size());
+  for (std::size_t i = 0; i < recorded.size(); ++i) {
+    EXPECT_EQ(replayed[i].kind, recorded[i].kind) << "event " << i;
+    EXPECT_EQ(replayed[i].time, recorded[i].time) << "event " << i;
+    EXPECT_EQ(replayed[i].pid, recorded[i].pid) << "event " << i;
+    EXPECT_EQ(replayed[i].peer, recorded[i].peer) << "event " << i;
+    EXPECT_EQ(replayed[i].items, recorded[i].items) << "event " << i;
+  }
 }
 
 TEST(SimParams, ValidateRejectsBadValues) {
