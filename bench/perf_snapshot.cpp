@@ -9,6 +9,8 @@
 //   micro_sim        a BM-style loop re-running one gather schedule
 //   micro_planner    a BM-style loop re-planning gather/broadcast
 //   micro_advisor    a BM-style loop of full advise() calls
+//   service          a seeded load run against the svc advisory service
+//                    (coalescing, admission control, deadline shedding)
 //
 // Each workload runs --reps times (default 5) with the global plan and
 // scenario caches cleared once up front: repetition 0 is the cold pass,
@@ -40,8 +42,19 @@
 #include "obs/export.hpp"
 #include "sim/cluster_sim.hpp"
 #include "obs/metrics.hpp"
+#include "svc/load_harness.hpp"
 #include "util/cli.hpp"
 #include "util/units.hpp"
+
+// Resolved build configuration, stamped into the snapshot's "meta" block by
+// bench/CMakeLists.txt. check_timing.py refuses to gate timings unless the
+// block says Release with no sanitizer.
+#ifndef HBSPK_BUILD_TYPE
+#define HBSPK_BUILD_TYPE "unknown"
+#endif
+#ifndef HBSPK_SANITIZE
+#define HBSPK_SANITIZE ""
+#endif
 
 namespace {
 
@@ -172,12 +185,35 @@ int main(int argc, char** argv) {
     }
   }));
 
+  results.push_back(run_workload("service", reps, [&] {
+    // One deterministic load run against the embedded advisory service:
+    // 200 open-loop arrivals in 20-request windows against a 12-slot
+    // admission queue, 1/8 of them carrying already-expired deadlines. The
+    // svc.* counters (requests, coalesced, both shed families, completed)
+    // are pure functions of the seed and mix, so the gate exact-matches
+    // them across thread counts and runs like every other counter.
+    svc::LoadConfig load;
+    load.mode = svc::LoadMode::kOpenLoop;
+    load.threads = threads;
+    load.shards = 4;
+    load.queue_capacity = 12;
+    load.qps = 400.0;
+    load.duration = 0.5;
+    load.expired_fraction = 0.125;
+    (void)svc::run_load(load);
+  }));
+
   // Assemble BENCH_<pr>.json. Workload order is fixed by the basket above;
   // every map inside a snapshot is name-sorted, so two runs with equal
   // counters produce byte-identical "counters" objects.
   std::string json = "{\n";
-  json += "  \"schema_version\": 2,\n";
+  json += "  \"schema_version\": 3,\n";
   json += "  \"bench\": \"perf_snapshot\",\n";
+  json += "  \"meta\": {\n";
+  json += "    \"build_type\": \"" + obs::json_escape(HBSPK_BUILD_TYPE) +
+          "\",\n";
+  json += "    \"sanitizer\": \"" + obs::json_escape(HBSPK_SANITIZE) + "\"\n";
+  json += "  },\n";
   json += "  \"pr\": " + std::to_string(pr) + ",\n";
   json += "  \"threads\": " + std::to_string(threads) + ",\n";
   json += "  \"iters\": " + std::to_string(iters) + ",\n";

@@ -9,6 +9,8 @@
 #   CONFIG=asan  ci/check.sh
 #   CONFIG=ubsan ci/check.sh    # standalone strict UBSan (no recover)
 #   CONFIG=lint  ci/check.sh    # hbsp-lint + clang-tidy-vs-baseline, no tests
+#   CONFIG=svc   ci/check.sh    # serving-layer smoke: svc tests + load_gen
+#                               #   tally shard/thread-invariance
 #   CONFIG=relperf ci/check.sh  # Release: perf_snapshot twice (process-level
 #                               #   counter determinism) + warm-cache timing
 #   JOBS=8 ci/check.sh          # parallel build/test width
@@ -103,6 +105,31 @@ plain_leg() {
   echo "goldens match regenerated tables"
 }
 
+# Serving-layer smoke leg: builds the svc-labelled tests plus the load
+# generator, runs them, then drives one fixed-seed load_gen schedule at
+# (1 shard, 1 thread) and (8 shards, 4 threads) and requires the
+# deterministic tally blocks byte-identical — the ISSUE's shard-invariance
+# acceptance criterion, end to end on the real binary. The sanitizer legs
+# additionally run the same tests via their tier1 label.
+svc_leg() {
+  run_suite build-ci-svc svc -DHBSPK_WERROR=ON
+
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+
+  echo "== build load_gen"
+  cmake --build build-ci-svc -j "${JOBS}" --target load_gen >/dev/null
+
+  local gen=build-ci-svc/bench/load_gen
+  "${gen}" --qps 200 --duration 0.5 --expired 0.1 --capacity 8 \
+    --shards 1 --threads 1 --tally "${tmp}/s1.tally" >/dev/null
+  "${gen}" --qps 200 --duration 0.5 --expired 0.1 --capacity 8 \
+    --shards 8 --threads 4 --tally "${tmp}/s8.tally" >/dev/null
+  cmp "${tmp}/s1.tally" "${tmp}/s8.tally"
+  echo "load_gen tally byte-identical at (1 shard, 1 thread) vs (8 shards, 4 threads)"
+}
+
 # Release-mode scenario-throughput leg: runs the perf_snapshot basket twice
 # in fresh processes and requires byte-identical counters (each run is
 # cache-cold at rep 0, so totals must agree run-to-run, not just
@@ -135,6 +162,7 @@ case "${CONFIG}" in
   all)
     lint_leg
     plain_leg
+    svc_leg
     run_suite build-ci-tsan tier1 -DHBSP_SANITIZE=thread
     run_suite build-ci-asan tier1 -DHBSP_SANITIZE=address
     run_suite build-ci-ubsan tier1 -DHBSP_SANITIZE=undefined
@@ -142,12 +170,13 @@ case "${CONFIG}" in
     ;;
   lint)  lint_leg ;;
   plain) plain_leg ;;
+  svc)   svc_leg ;;
   tsan)  run_suite build-ci-tsan tier1 -DHBSP_SANITIZE=thread ;;
   asan)  run_suite build-ci-asan tier1 -DHBSP_SANITIZE=address ;;
   ubsan) run_suite build-ci-ubsan tier1 -DHBSP_SANITIZE=undefined ;;
   relperf) relperf_leg ;;
   *)
-    echo "unknown CONFIG '${CONFIG}' (want all|lint|plain|tsan|asan|ubsan|relperf)" >&2
+    echo "unknown CONFIG '${CONFIG}' (want all|lint|plain|svc|tsan|asan|ubsan|relperf)" >&2
     exit 2
     ;;
 esac

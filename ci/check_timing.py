@@ -1,7 +1,13 @@
 #!/usr/bin/env python3
 """Gate the wall-time half of a BENCH_*.json perf snapshot.
 
-Two checks, both over the per-workload "timing" objects (schema v2):
+Three checks over the snapshot (schema v3):
+
+0. Build-configuration guard: a snapshot whose "meta" block reports a
+   non-Release build or an active sanitizer is refused outright — its
+   timings are meaningless and must never be gated (or worse, pinned as a
+   baseline). Snapshots without a meta block (schema <= 2) predate the
+   stamp and are accepted as legacy.
 
 1. Warm-cache speedup (always, needs reps >= 2): for the cache-heavy sweep
    workloads the warm-cache median must be at least 25% faster than the cold
@@ -25,22 +31,47 @@ import sys
 
 # Workloads whose warm reps run almost entirely from the plan/scenario
 # caches; the others (micro loops, resilience) are legitimately cache-light.
-CACHED_WORKLOADS = ("fig3a", "fig4a", "chaos")
+# "service" qualifies: warm load runs replan and re-simulate nothing.
+CACHED_WORKLOADS = ("fig3a", "fig4a", "chaos", "service")
 WARM_OVER_COLD_MAX = 0.75
 DEFAULT_RATIO = 1.5
 
 
-def timings_by_workload(path):
+def load(path):
     with open(path) as f:
-        document = json.load(f)
+        return json.load(f)
+
+
+def timings_by_workload(document):
     return {w["name"]: w.get("timing") for w in document["workloads"]}
+
+
+def refuse_ungateable(path, document):
+    """Returns True when the snapshot's build configuration disqualifies its
+    timings. Missing meta (schema <= 2) is tolerated as legacy."""
+    meta = document.get("meta")
+    if meta is None:
+        print(f"{path}: no meta block (schema <= 2 snapshot), "
+              "build-configuration guard skipped")
+        return False
+    build_type = meta.get("build_type", "unknown")
+    sanitizer = meta.get("sanitizer", "")
+    if build_type != "Release" or sanitizer != "":
+        print(f"{path}: refusing to gate timings from build_type="
+              f"'{build_type}' sanitizer='{sanitizer}' "
+              "(need a plain Release build)", file=sys.stderr)
+        return True
+    return False
 
 
 def main(argv):
     if len(argv) not in (2, 3):
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    candidate = timings_by_workload(argv[1])
+    candidate_doc = load(argv[1])
+    if refuse_ungateable(argv[1], candidate_doc):
+        return 1
+    candidate = timings_by_workload(candidate_doc)
     failed = False
 
     for name in CACHED_WORKLOADS:
@@ -61,7 +92,10 @@ def main(argv):
             failed = True
 
     if len(argv) == 3:
-        baseline = timings_by_workload(argv[2])
+        baseline_doc = load(argv[2])
+        if refuse_ungateable(argv[2], baseline_doc):
+            return 1
+        baseline = timings_by_workload(baseline_doc)
         ratio = float(os.environ.get("PERF_GATE_RATIO", DEFAULT_RATIO))
         if any(t is None for t in baseline.values()):
             print(f"baseline {argv[2]} predates timing fields; "

@@ -46,6 +46,16 @@ CommSchedule build_plan(const MachineTree& tree, const PlanRequest& request) {
   throw std::logic_error{"build_plan: bad kind"};
 }
 
+std::uint64_t plan_request_fingerprint(const PlanRequest& request) noexcept {
+  util::Hash64 hash;
+  hash.add(static_cast<std::uint64_t>(request.kind));
+  hash.add(request.n);
+  hash.add_int(request.root_pid);
+  hash.add(static_cast<std::uint64_t>(request.shares));
+  hash.add(static_cast<std::uint64_t>(request.top_phase));
+  return hash.digest();
+}
+
 PlanCache& PlanCache::global() {
   static PlanCache cache;
   return cache;

@@ -58,6 +58,14 @@ struct PlanRequest {
 [[nodiscard]] CommSchedule build_plan(const MachineTree& tree,
                                       const PlanRequest& request);
 
+/// Stable content fingerprint of a planner request: folds every field (kind,
+/// n, root, shares, top phase) through util::Hash64, so two requests hash
+/// equal iff they are operator== equal up to hash collisions. The svc
+/// coalescing keys and response fingerprints build on it; PlanKey keeps its
+/// own (deliberately lossy) params_hash unchanged.
+[[nodiscard]] std::uint64_t plan_request_fingerprint(
+    const PlanRequest& request) noexcept;
+
 /// Cache key: the ISSUE's (collective, machine-tree fingerprint, shares, n,
 /// params-hash) tuple. kind/shares/n are kept verbatim; root_pid and
 /// top_phase fold into params_hash, which is why collisions are possible and

@@ -188,6 +188,13 @@ std::uint64_t MetricsSnapshot::counter(const std::string& name) const noexcept {
   return 0;
 }
 
+const GaugeValue* MetricsSnapshot::gauge(const std::string& name) const noexcept {
+  for (const GaugeValue& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
 const HistogramValue* MetricsSnapshot::histogram(
     const std::string& name) const noexcept {
   for (const HistogramValue& h : histograms) {

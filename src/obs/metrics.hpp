@@ -153,6 +153,9 @@ struct MetricsSnapshot {
 
   /// Value of a counter by name; 0 when absent.
   [[nodiscard]] std::uint64_t counter(const std::string& name) const noexcept;
+  /// Pointer to a gauge by name; nullptr when absent (distinguishes "never
+  /// set" from "set to 0").
+  [[nodiscard]] const GaugeValue* gauge(const std::string& name) const noexcept;
   /// Pointer to a histogram by name; nullptr when absent.
   [[nodiscard]] const HistogramValue* histogram(
       const std::string& name) const noexcept;

@@ -1,0 +1,17 @@
+#include "svc/deadline.hpp"
+
+#include <chrono>
+
+namespace hbsp::svc {
+
+double now_seconds() noexcept {
+  // hbsp-lint: allow(wall-clock) the serving layer's one sanctioned clock
+  //     read: deadlines and latency are wall-time by definition. The value
+  //     feeds admission decisions and latency histograms only — it never
+  //     reaches response content, which stays bit-identical regardless of
+  //     wall-clock speed.
+  const auto tick = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(tick).count();
+}
+
+}  // namespace hbsp::svc

@@ -1,0 +1,50 @@
+#pragma once
+// The serving layer's wall-time primitives: a monotonic timebase and the
+// admission deadline carried by every request.
+//
+// svc is a determinism zone (tools/hbsp_lint/layers.toml), but deadlines and
+// latency are wall-time concepts by definition, so the zone needs exactly one
+// sanctioned clock read: now_seconds(), implemented in deadline.cpp behind the
+// module's single lint allow(wall-clock) escape. Everything else in
+// svc expresses time as doubles on that timebase — this header mentions no
+// clock type at all, which is what keeps the escape singular.
+//
+// Wall-time values never enter response *content* (the determinism contract
+// covers schedules, costs and makespans); they only decide admission (shed an
+// expired request without executing it) and feed latency histograms, which
+// the perf gate reports but never compares.
+
+#include <limits>
+
+namespace hbsp::svc {
+
+/// Monotonic seconds on an arbitrary (per-process) epoch. Strictly for
+/// deadline arithmetic and latency measurement — never simulated time.
+[[nodiscard]] double now_seconds() noexcept;
+
+/// When a request stops being worth computing, on the now_seconds()
+/// timebase. The default is "never": requests without latency budgets are
+/// always admitted.
+struct Deadline {
+  /// Absolute expiry; +infinity means no deadline.
+  double at = std::numeric_limits<double>::infinity();
+
+  /// No deadline at all (the default).
+  [[nodiscard]] static Deadline never() noexcept { return {}; }
+
+  /// Expires `seconds` from now (values <= 0 are already expired).
+  [[nodiscard]] static Deadline after(double seconds) noexcept {
+    return Deadline{now_seconds() + seconds};
+  }
+
+  /// A deadline that has already passed, for deterministic shedding: a
+  /// request carrying it is rejected with kRejectedDeadlineExceeded without
+  /// executing, independent of wall-clock speed.
+  [[nodiscard]] static Deadline expired() noexcept {
+    return Deadline{-std::numeric_limits<double>::infinity()};
+  }
+
+  [[nodiscard]] bool passed(double now) const noexcept { return now > at; }
+};
+
+}  // namespace hbsp::svc

@@ -1,0 +1,419 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "collectives/advisor.hpp"
+#include "experiments/chaos.hpp"
+#include "experiments/figures.hpp"
+#include "faults/injector.hpp"
+#include "obs/metrics.hpp"
+#include "util/hash.hpp"
+
+namespace hbsp::svc {
+
+const char* to_string(RequestKind kind) noexcept {
+  switch (kind) {
+    case RequestKind::kAdvise:
+      return "advise";
+    case RequestKind::kPlan:
+      return "plan";
+    case RequestKind::kSimulate:
+      return "simulate";
+  }
+  return "unknown";
+}
+
+const char* to_string(Outcome outcome) noexcept {
+  switch (outcome) {
+    case Outcome::kCompleted:
+      return "completed";
+    case Outcome::kRejectedQueueFull:
+      return "rejected_queue_full";
+    case Outcome::kRejectedDeadlineExceeded:
+      return "rejected_deadline_exceeded";
+  }
+  return "unknown";
+}
+
+std::uint64_t ResponseBody::content_fingerprint() const noexcept {
+  util::Hash64 hash;
+  hash.add(coll::plan_request_fingerprint(spec));
+  hash.add(plan != nullptr ? plan->schedule.fingerprint() : 0u);
+  hash.add_double(plan != nullptr ? plan->predicted_cost : 0.0);
+  hash.add_int(simulated ? 1 : 0);
+  hash.add_double(simulated_makespan);
+  hash.add_string(rationale);
+  return hash.digest();
+}
+
+std::uint64_t Service::Canonical::key() const noexcept {
+  util::Hash64 hash;
+  hash.add_int(static_cast<int>(kind));
+  hash.add(tree_fingerprint);
+  switch (kind) {
+    case RequestKind::kAdvise:
+      hash.add_int(static_cast<int>(collective));
+      hash.add(static_cast<std::uint64_t>(n));
+      hash.add(params_fingerprint);
+      break;
+    case RequestKind::kPlan:
+      hash.add(coll::plan_request_fingerprint(spec));
+      break;
+    case RequestKind::kSimulate:
+      hash.add(coll::plan_request_fingerprint(spec));
+      hash.add(params_fingerprint);
+      hash.add_int(fault_plan != nullptr ? 1 : 0);
+      hash.add(fault_fingerprint);
+      break;
+  }
+  return hash.digest();
+}
+
+bool Service::Canonical::same_content(const Canonical& other) const noexcept {
+  if (kind != other.kind || tree_fingerprint != other.tree_fingerprint) {
+    return false;
+  }
+  switch (kind) {
+    case RequestKind::kAdvise:
+      return collective == other.collective && n == other.n &&
+             params_fingerprint == other.params_fingerprint;
+    case RequestKind::kPlan:
+      return spec == other.spec;
+    case RequestKind::kSimulate:
+      return spec == other.spec &&
+             params_fingerprint == other.params_fingerprint &&
+             (fault_plan != nullptr) == (other.fault_plan != nullptr) &&
+             fault_fingerprint == other.fault_fingerprint;
+  }
+  return false;
+}
+
+namespace {
+
+/// A future that is already resolved — what rejected submissions hand back.
+std::shared_future<Response> ready_future(Response response) {
+  std::promise<Response> promise;
+  promise.set_value(std::move(response));
+  return promise.get_future().share();
+}
+
+}  // namespace
+
+Service::Service(ServiceConfig config)
+    : config_{config.threads,
+              std::max(1, config.shards),
+              config.queue_capacity},
+      pool_(config.threads),
+      queues_(static_cast<std::size_t>(std::max(1, config.shards))) {}
+
+Service::~Service() { stop(); }
+
+Ticket Service::submit(AdviseRequest request, Deadline deadline) {
+  if (request.tree == nullptr) {
+    throw std::invalid_argument{"svc::AdviseRequest requires a machine tree"};
+  }
+  Canonical canonical;
+  canonical.kind = RequestKind::kAdvise;
+  canonical.tree = std::move(request.tree);
+  canonical.tree_fingerprint = canonical.tree->fingerprint();
+  canonical.collective = request.collective;
+  canonical.n = request.n;
+  canonical.params = request.params;
+  canonical.params_fingerprint = request.params.fingerprint();
+  return admit(std::move(canonical), deadline);
+}
+
+Ticket Service::submit(PlanRequest request, Deadline deadline) {
+  if (request.tree == nullptr) {
+    throw std::invalid_argument{"svc::PlanRequest requires a machine tree"};
+  }
+  Canonical canonical;
+  canonical.kind = RequestKind::kPlan;
+  canonical.tree = std::move(request.tree);
+  canonical.tree_fingerprint = canonical.tree->fingerprint();
+  canonical.spec = request.spec;
+  return admit(std::move(canonical), deadline);
+}
+
+Ticket Service::submit(SimulateRequest request, Deadline deadline) {
+  if (request.tree == nullptr) {
+    throw std::invalid_argument{"svc::SimulateRequest requires a machine tree"};
+  }
+  Canonical canonical;
+  canonical.kind = RequestKind::kSimulate;
+  canonical.tree = std::move(request.tree);
+  canonical.tree_fingerprint = canonical.tree->fingerprint();
+  canonical.spec = request.spec;
+  canonical.params = request.params;
+  canonical.params_fingerprint = request.params.fingerprint();
+  canonical.fault_plan = std::move(request.fault_plan);
+  canonical.fault_fingerprint = canonical.fault_plan != nullptr
+                                    ? canonical.fault_plan->fingerprint()
+                                    : 0u;
+  return admit(std::move(canonical), deadline);
+}
+
+Ticket Service::admit(Canonical request, Deadline deadline) {
+  const std::uint64_t key = request.key();
+  const int shard = static_cast<int>(
+      key % static_cast<std::uint64_t>(config_.shards));
+  const double now = now_seconds();
+
+  obs::Registry& registry = obs::Registry::global();
+  std::lock_guard lock{mutex_};
+  registry.counter("svc.requests").increment();
+  registry.counter(std::string{"svc.requests."} + to_string(request.kind))
+      .increment();
+
+  // 1. Coalesce: an in-flight twin (queued or executing, promise not yet
+  //    fulfilled) answers for us. Checked before the deadline so an expired
+  //    request whose twin is still wanted gets served rather than shed.
+  if (const auto it = inflight_.find(key); it != inflight_.end()) {
+    for (const std::shared_ptr<Job>& job : it->second) {
+      if (!job->request.same_content(request)) continue;  // hash collision
+      job->member_submits.push_back(now);
+      job->effective_deadline = std::max(job->effective_deadline, deadline.at);
+      registry.counter("svc.coalesced").increment();
+      return Ticket{job->future, key, true};
+    }
+  }
+
+  // 2. Deadline: an already-expired request with no twin never executes.
+  if (deadline.passed(now)) {
+    registry.counter("svc.shed.deadline").increment();
+    Response response;
+    response.outcome = Outcome::kRejectedDeadlineExceeded;
+    response.provenance = Provenance{key, shard, 1, now};
+    return Ticket{ready_future(std::move(response)), key, false};
+  }
+
+  // 3. Capacity: the admission queue is bounded across all shards.
+  if (config_.queue_capacity > 0 && queued_ >= config_.queue_capacity) {
+    registry.counter("svc.shed.queue_full").increment();
+    Response response;
+    response.outcome = Outcome::kRejectedQueueFull;
+    response.provenance = Provenance{key, shard, 1, now};
+    return Ticket{ready_future(std::move(response)), key, false};
+  }
+
+  auto job = std::make_shared<Job>();
+  job->request = std::move(request);
+  job->key = key;
+  job->shard = shard;
+  job->effective_deadline = deadline.at;
+  job->member_submits.push_back(now);
+  job->future = job->promise.get_future().share();
+
+  queues_[static_cast<std::size_t>(shard)].push_back(job);
+  inflight_[key].push_back(job);
+  ++queued_;
+  if (queued_ > depth_high_water_) {
+    depth_high_water_ = queued_;
+    registry.gauge("svc.queue_depth").set(static_cast<double>(queued_));
+  }
+  work_cv_.notify_one();
+  return Ticket{job->future, key, false};
+}
+
+Response Service::compute(const Canonical& request) {
+  Response response;
+  response.outcome = Outcome::kCompleted;
+  switch (request.kind) {
+    case RequestKind::kAdvise: {
+      const coll::CollectiveAdvice advice =
+          coll::advise(*request.tree, request.collective, request.n);
+      response.body.spec = advice.request(request.n);
+      response.body.plan =
+          coll::PlanCache::global().get(*request.tree, response.body.spec);
+      response.body.simulated = true;
+      response.body.simulated_makespan = exp::simulate_makespan(
+          *request.tree, response.body.plan->schedule, request.params);
+      response.body.rationale = advice.rationale;
+      break;
+    }
+    case RequestKind::kPlan: {
+      response.body.spec = request.spec;
+      response.body.plan =
+          coll::PlanCache::global().get(*request.tree, request.spec);
+      break;
+    }
+    case RequestKind::kSimulate: {
+      response.body.spec = request.spec;
+      response.body.plan =
+          coll::PlanCache::global().get(*request.tree, request.spec);
+      response.body.simulated = true;
+      if (request.fault_plan != nullptr) {
+        const faults::FaultInjector injector{*request.fault_plan};
+        response.body.simulated_makespan = exp::simulate_makespan_with_faults(
+            *request.tree, response.body.plan->schedule, request.params,
+            &injector);
+      } else {
+        response.body.simulated_makespan = exp::simulate_makespan(
+            *request.tree, response.body.plan->schedule, request.params);
+      }
+      break;
+    }
+  }
+  return response;
+}
+
+void Service::execute(const std::shared_ptr<Job>& job) {
+  obs::Registry& registry = obs::Registry::global();
+  const double start = now_seconds();
+
+  // A job every member of whom has given up is shed, not computed. The check
+  // and the in-flight removal are atomic so a late twin can never attach to
+  // a job that has already decided to shed.
+  {
+    std::lock_guard lock{mutex_};
+    if (start > job->effective_deadline) {
+      auto it = inflight_.find(job->key);
+      if (it != inflight_.end()) {
+        std::erase(it->second, job);
+        if (it->second.empty()) inflight_.erase(it);
+      }
+      const std::uint64_t members = job->member_submits.size();
+      registry.counter("svc.shed.deadline").add(members);
+      Response response;
+      response.outcome = Outcome::kRejectedDeadlineExceeded;
+      response.provenance = Provenance{job->key, job->shard, members, start};
+      job->promise.set_value(std::move(response));
+      return;
+    }
+  }
+
+  Response response;
+  std::exception_ptr error;
+  try {
+    response = compute(job->request);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  const double end = now_seconds();
+
+  // Detach from the in-flight table *before* fulfilling the promise: twins
+  // found in the table always attach before the member snapshot below, so
+  // every served request gets a latency sample and the served count is
+  // exact.
+  std::vector<double> members;
+  {
+    std::lock_guard lock{mutex_};
+    auto it = inflight_.find(job->key);
+    if (it != inflight_.end()) {
+      std::erase(it->second, job);
+      if (it->second.empty()) inflight_.erase(it);
+    }
+    members = std::move(job->member_submits);
+  }
+
+  if (error != nullptr) {
+    job->promise.set_exception(error);
+    return;
+  }
+
+  registry.counter("svc.completed").add(members.size());
+  obs::Histogram latency = registry.histogram("svc.latency_seconds");
+  for (const double submitted : members) {
+    latency.record(std::max(0.0, end - submitted));
+  }
+  registry.histogram("svc.exec_seconds").record(std::max(0.0, end - start));
+
+  response.provenance =
+      Provenance{job->key, job->shard, members.size(), end};
+  job->promise.set_value(std::move(response));
+}
+
+void Service::drain_shard(std::size_t shard) {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::lock_guard lock{mutex_};
+      std::deque<std::shared_ptr<Job>>& queue = queues_[shard];
+      if (queue.empty()) return;
+      job = queue.front();
+      queue.pop_front();
+      --queued_;
+    }
+    execute(job);
+  }
+}
+
+void Service::pump() {
+  {
+    std::lock_guard lock{mutex_};
+    if (running_) {
+      throw std::logic_error{
+          "svc::Service::pump: background executor is running"};
+    }
+  }
+  pool_.parallel_for(static_cast<std::size_t>(config_.shards),
+                     [this](std::size_t shard) { drain_shard(shard); });
+}
+
+std::shared_ptr<Service::Job> Service::pop_locked(std::size_t preferred_shard) {
+  const std::size_t shards = queues_.size();
+  for (std::size_t i = 0; i < shards; ++i) {
+    std::deque<std::shared_ptr<Job>>& queue =
+        queues_[(preferred_shard + i) % shards];
+    if (queue.empty()) continue;
+    std::shared_ptr<Job> job = queue.front();
+    queue.pop_front();
+    --queued_;
+    return job;
+  }
+  return nullptr;
+}
+
+void Service::worker_loop(std::size_t worker) {
+  const std::size_t preferred = worker % queues_.size();
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock lock{mutex_};
+      work_cv_.wait(lock, [this] { return stopping_ || queued_ > 0; });
+      if (queued_ == 0) return;  // stopping_ and fully drained
+      job = pop_locked(preferred);
+    }
+    if (job != nullptr) execute(job);
+  }
+}
+
+void Service::start() {
+  {
+    std::lock_guard lock{mutex_};
+    if (running_) return;
+    running_ = true;
+    stopping_ = false;
+  }
+  const auto width = static_cast<std::size_t>(pool_.threads());
+  executor_ = std::thread{[this, width] {
+    pool_.parallel_for(width, [this](std::size_t i) { worker_loop(i); });
+  }};
+}
+
+void Service::stop() {
+  {
+    std::lock_guard lock{mutex_};
+    if (!running_) return;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  executor_.join();
+  std::lock_guard lock{mutex_};
+  running_ = false;
+  stopping_ = false;
+}
+
+bool Service::running() const {
+  std::lock_guard lock{mutex_};
+  return running_;
+}
+
+std::size_t Service::queue_depth() const {
+  std::lock_guard lock{mutex_};
+  return queued_;
+}
+
+}  // namespace hbsp::svc

@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 
 namespace hbsp::util {
@@ -77,6 +78,26 @@ double Cli::get_double(const std::string& name, double fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
   return std::strtod(it->second.c_str(), nullptr);
+}
+
+double Cli::get_positive_double(const std::string& name,
+                                double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const std::string& text = it->second;
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  // The whole token must parse (no suffix, no bare-flag "true") and the
+  // value must be a strictly positive finite number.
+  const bool parsed = end != nullptr && *end == '\0' && !text.empty();
+  if (!parsed || errno == ERANGE || !(value > 0.0) ||
+      value > std::numeric_limits<double>::max()) {
+    throw std::invalid_argument{"--" + name +
+                                " expects a positive number, got '" + text +
+                                "'"};
+  }
+  return value;
 }
 
 bool Cli::get_bool(const std::string& name, bool fallback) const {

@@ -37,6 +37,13 @@ class Cli {
                                               std::int64_t fallback) const;
   [[nodiscard]] double get_double(const std::string& name,
                                   double fallback) const;
+
+  /// Strict variant for flags like --qps: the value must be fully numeric
+  /// and strictly positive; anything else (0, negatives, non-numeric text,
+  /// a bare boolean flag, trailing junk) throws std::invalid_argument with
+  /// the same friendly message shape as get_positive_int.
+  [[nodiscard]] double get_positive_double(const std::string& name,
+                                           double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
 
   [[nodiscard]] const std::vector<std::string>& positional() const noexcept {

@@ -137,6 +137,32 @@ TEST(Cli, PositiveIntRejectsOverflow) {
   EXPECT_THROW((void)cli.get_positive_int("threads", 1), std::invalid_argument);
 }
 
+TEST(Cli, PositiveDoubleAcceptsRates) {
+  const char* argv[] = {"prog", "--qps=250.5", "--duration", "0.25"};
+  Cli cli{4, argv};
+  EXPECT_DOUBLE_EQ(cli.get_positive_double("qps", 1.0), 250.5);
+  EXPECT_DOUBLE_EQ(cli.get_positive_double("duration", 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cli.get_positive_double("absent", 3.5), 3.5);
+}
+
+TEST(Cli, PositiveDoubleRejectsNonPositiveAndJunk) {
+  for (const char* bad : {"--qps=0", "--qps=-1.5", "--qps=fast", "--qps=2x",
+                          "--qps=", "--qps=nan", "--qps=inf"}) {
+    const char* argv[] = {"prog", bad};
+    Cli cli{2, argv};
+    EXPECT_THROW((void)cli.get_positive_double("qps", 1.0),
+                 std::invalid_argument)
+        << bad;
+  }
+}
+
+TEST(Cli, PositiveDoubleRejectsBareBooleanForm) {
+  const char* argv[] = {"prog", "--qps"};
+  Cli cli{2, argv};
+  EXPECT_THROW((void)cli.get_positive_double("qps", 1.0),
+               std::invalid_argument);
+}
+
 TEST(Cli, DefaultsApplyWhenMissing) {
   const char* argv[] = {"prog"};
   Cli cli{1, argv};
