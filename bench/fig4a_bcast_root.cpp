@@ -8,19 +8,39 @@
 // broadcast cannot exploit heterogeneity (§4.4's conclusion).
 
 #include <cstdio>
+#include <stdexcept>
 
 #include "experiments/figures.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace hbsp;
   util::Cli cli{argc, argv};
   cli.allow("csv", "write the sweep to this CSV path")
-      .allow("threads", "sweep worker threads (default 1)");
+      .allow("threads", "sweep worker threads (default 1)")
+      .allow("grid", "paper (default, 9x10 cells) or small (3x3, trace goldens)")
+      .allow("trace-out",
+             "write the virtual-time span trace to this JSON path");
   cli.validate();
 
   exp::FigureConfig config;
   config.threads = static_cast<int>(cli.get_positive_int("threads", 1));
+  const std::string grid = cli.get("grid", "paper");
+  if (grid == "small") {
+    config.processors = {2, 6, 10};
+    config.kbytes = {100, 500, 1000};
+  } else if (grid != "paper") {
+    throw std::invalid_argument{"--grid must be 'paper' or 'small'"};
+  }
+
+  const bool tracing = cli.has("trace-out");
+  auto& recorder = obs::TraceRecorder::global();
+  if (tracing) {
+    recorder.clear();
+    recorder.set_enabled(true);
+  }
 
   exp::SweepRunner runner{config.threads};
   const exp::ImprovementTable table =
@@ -32,6 +52,13 @@ int main(int argc, char** argv) {
       .print();
   runner.counters().to_table("sweep throughput").print();
 
+  if (tracing) {
+    recorder.set_enabled(false);
+    const obs::TraceSnapshot snapshot = recorder.snapshot();
+    obs::write_chrome_trace(snapshot, cli.get("trace-out", ""),
+                            obs::TraceFilter::kVirtualOnly);
+    obs::self_time_table(snapshot).print();
+  }
   if (cli.has("csv")) {
     exp::write_improvement_csv(table, cli.get("csv", ""));
   }

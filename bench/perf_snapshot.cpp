@@ -40,6 +40,8 @@
 #include "experiments/figures.hpp"
 #include "experiments/scenario_cache.hpp"
 #include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "sim/cluster_sim.hpp"
 #include "obs/metrics.hpp"
 #include "svc/load_harness.hpp"
@@ -85,11 +87,18 @@ WorkloadResult run_workload(const std::string& name, std::int64_t reps,
 
   WorkloadResult result;
   result.name = name;
+  // With --trace-out the recorder is live: every span this workload records
+  // (wall rep spans here, virtual sim spans below) lands under its name.
+  const obs::TraceContext trace_context{name};
   std::vector<double> warm;
   for (std::int64_t rep = 0; rep < reps; ++rep) {
     registry.reset();
     const auto start = std::chrono::steady_clock::now();
-    body();
+    {
+      const obs::WallScope rep_span{"bench/" + name, name,
+                                    obs::SpanKind::kOther, {{"rep", rep}}};
+      body();
+    }
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
@@ -123,7 +132,9 @@ int main(int argc, char** argv) {
       .allow("threads", "sweep worker threads (default 1)")
       .allow("iters", "micro-loop iterations (default 40)")
       .allow("reps", "repetitions per workload: 1 cold + reps-1 warm (default 5)")
-      .allow("table", "also print the per-workload metric tables");
+      .allow("table", "also print the per-workload metric tables")
+      .allow("trace-out",
+             "record spans and write the Chrome trace to this JSON path");
   cli.validate();
 
   const std::string out_path = cli.get("out", "BENCH_3.json");
@@ -132,6 +143,11 @@ int main(int argc, char** argv) {
   const auto iters = cli.get_positive_int("iters", 40);
   const auto reps = cli.get_positive_int("reps", 5);
   const bool print_tables = cli.get_bool("table", false);
+  const bool tracing = cli.has("trace-out");
+  if (tracing) {
+    obs::TraceRecorder::global().clear();
+    obs::TraceRecorder::global().set_enabled(true);
+  }
 
   exp::SweepRunner runner{threads};
   std::vector<WorkloadResult> results;
@@ -250,6 +266,16 @@ int main(int argc, char** argv) {
     }
     std::fputs(json.c_str(), out);
     std::fclose(out);
+  }
+
+  if (tracing) {
+    auto& recorder = obs::TraceRecorder::global();
+    recorder.set_enabled(false);
+    const obs::TraceSnapshot snapshot = recorder.snapshot();
+    obs::write_chrome_trace(snapshot, cli.get("trace-out", ""));
+    obs::self_time_table(snapshot).print();
+    std::printf("perf_snapshot: %zu spans -> %s\n", snapshot.spans.size(),
+                cli.get("trace-out", "").c_str());
   }
 
   if (print_tables) {

@@ -87,13 +87,24 @@ plain_leg() {
   cmp "${tmp}/c1.csv" "${tmp}/c4.csv"
   echo "chaos_sweep CSV byte-identical at 1 and 4 threads"
 
-  # Golden drift: regenerate every pinned CSV into a temp dir and diff
-  # against the committed files. A behaviour change that forgot to run
-  # ci/regen_goldens.sh (and review the new tables) fails here.
+  # The same claim for the span-tracing layer: the exported virtual-time
+  # trace sorts spans by content (never by arrival thread), so the JSON must
+  # be byte-identical at any worker count — and schema/semantically valid.
+  "${fig3a}" --threads 1 --grid small --trace-out "${tmp}/trace1.json" \
+    >/dev/null
+  "${fig3a}" --threads 4 --grid small --trace-out "${tmp}/trace4.json" \
+    >/dev/null
+  cmp "${tmp}/trace1.json" "${tmp}/trace4.json"
+  python3 ci/validate_trace.py "${tmp}/trace1.json"
+  echo "fig3a virtual trace byte-identical at 1 and 4 threads"
+
+  # Golden drift: regenerate every pinned CSV and trace JSON into a temp dir
+  # and diff against the committed files. A behaviour change that forgot to
+  # run ci/regen_goldens.sh (and review the new tables) fails here.
   BUILD_DIR=build-ci OUT_DIR="${tmp}/golden" JOBS="${JOBS}" \
     ci/regen_goldens.sh >/dev/null
   local golden drift=0
-  for golden in tests/golden/*.csv; do
+  for golden in tests/golden/*.csv tests/golden/*_trace.json; do
     if ! diff -u "${golden}" "${tmp}/golden/$(basename "${golden}")"; then
       drift=1
     fi
@@ -102,7 +113,7 @@ plain_leg() {
     echo "golden drift: regenerate with ci/regen_goldens.sh and commit" >&2
     return 1
   fi
-  echo "goldens match regenerated tables"
+  echo "goldens match regenerated tables and traces"
 }
 
 # Serving-layer smoke leg: builds the svc-labelled tests plus the load
@@ -144,13 +155,18 @@ relperf_leg() {
 
   echo "== perf_snapshot run A"
   "${dir}/bench/perf_snapshot" --threads 4 --out "${dir}/BENCH_relperf_a.json"
-  echo "== perf_snapshot run B"
-  "${dir}/bench/perf_snapshot" --threads 4 --out "${dir}/BENCH_relperf_b.json"
+  # Run B records spans (wall scopes, request lifecycles, every sim span):
+  # diffing its counters against the untraced run A proves tracing enabled
+  # perturbs no counter, not merely tracing compiled-in-but-off.
+  echo "== perf_snapshot run B (traced)"
+  "${dir}/bench/perf_snapshot" --threads 4 --out "${dir}/BENCH_relperf_b.json" \
+    --trace-out "${dir}/BENCH_relperf_trace.json"
 
   echo "== schema validation"
   python3 ci/validate_bench.py "${dir}/BENCH_relperf_a.json" ci/bench_schema.json
+  python3 ci/validate_trace.py "${dir}/BENCH_relperf_trace.json"
 
-  echo "== run-to-run counter determinism (warm caches rebuilt per process)"
+  echo "== run-to-run counter determinism (untraced A vs traced B)"
   python3 ci/diff_bench_counters.py \
     "${dir}/BENCH_relperf_a.json" "${dir}/BENCH_relperf_b.json"
 

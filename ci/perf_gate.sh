@@ -53,6 +53,15 @@ python3 ci/diff_bench_counters.py "${SNAPSHOT_OUT}" "${tmp}/t4.json"
 echo "== warm-cache speedup (plan/scenario caches)"
 python3 ci/check_timing.py "${SNAPSHOT_OUT}"
 
+# Profiling artifact: one traced pass of the basket, exported as Chrome
+# trace JSON (load in Perfetto) and validated. Its counters are not gated —
+# the relperf leg separately proves tracing leaves them byte-identical.
+echo "== traced profiling run (artifact only)"
+"${BUILD_DIR}/bench/perf_snapshot" --threads 4 --reps 1 \
+  --out "${tmp}/traced_snapshot.json" \
+  --trace-out "${BUILD_DIR}/BENCH_3.trace.json"
+python3 ci/validate_trace.py "${BUILD_DIR}/BENCH_3.trace.json"
+
 if [ "${UPDATE_BASELINE:-0}" = "1" ]; then
   mv "${SNAPSHOT_OUT}" "${BASELINE}"
   echo "baseline re-pinned: ${BASELINE} (review the diff and commit)"

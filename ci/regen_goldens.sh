@@ -33,6 +33,17 @@ echo "regenerated ${OUT_DIR}/fig3a.csv"
   --csv "${OUT_DIR}/fig4a.csv" >/dev/null
 echo "regenerated ${OUT_DIR}/fig4a.csv"
 
+# Virtual-time trace goldens use the small 3x3 grid so the committed JSON
+# stays reviewable (~18 KB). Byte-identical at any --threads by design —
+# the trace determinism suite and CI's trace gate both lean on that.
+"${BUILD_DIR}/bench/fig3a_gather_root" --threads 8 --grid small \
+  --trace-out "${OUT_DIR}/fig3a_trace.json" >/dev/null
+echo "regenerated ${OUT_DIR}/fig3a_trace.json"
+
+"${BUILD_DIR}/bench/fig4a_bcast_root" --threads 8 --grid small \
+  --trace-out "${OUT_DIR}/fig4a_trace.json" >/dev/null
+echo "regenerated ${OUT_DIR}/fig4a_trace.json"
+
 "${BUILD_DIR}/bench/chaos_sweep" --threads 8 \
   --csv "${OUT_DIR}/chaos_sweep.csv" >/dev/null
 echo "regenerated ${OUT_DIR}/chaos_sweep.csv"

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Validate an exported Chrome trace-event JSON (obs/trace_export) against
+ci/trace_schema.json plus the semantic invariants the exporter guarantees:
+
+  * metadata (ph "M") thread_name events declare tids 0..T-1 with
+    lexicographically sorted track names, before any span event;
+  * span events are ph "X" complete events with numeric ts/dur >= 0, a cat of
+    "virtual" or "wall", and args carrying a "kind" string plus an "id" equal
+    to the event's position among span events;
+  * a "parent" arg, when present, references another span's id (parents may
+    serialise after their children — the canonical order sorts by track, and
+    a parent often lives on a different track than its children);
+  * every span's tid references a declared track.
+
+The schema half reuses the same stdlib miniature JSON-Schema subset as
+ci/validate_bench.py (type, const, minimum, required, properties,
+additionalProperties, items, minItems).
+
+Usage: ci/validate_trace.py trace.json [schema.json]
+"""
+
+import json
+import os
+import sys
+
+KNOWN_KEYWORDS = {
+    "type", "const", "minimum", "required", "properties",
+    "additionalProperties", "items", "minItems",
+}
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+}
+
+KINDS = {
+    "phase", "superstep", "message_batch", "barrier", "request", "stage",
+    "cell", "other",
+}
+
+
+class TraceError(Exception):
+    pass
+
+
+def check(value, schema, path):
+    unknown = set(schema) - KNOWN_KEYWORDS
+    if unknown:
+        raise TraceError(f"schema uses unsupported keywords {sorted(unknown)}")
+
+    if "const" in schema:
+        if value != schema["const"]:
+            fail(path, f"expected {schema['const']!r}, got {value!r}")
+        return
+
+    if "type" in schema:
+        expected = TYPES[schema["type"]]
+        ok = isinstance(value, expected)
+        if schema["type"] in ("number", "integer") and isinstance(value, bool):
+            ok = False  # bool is an int subclass; never a valid number here
+        if not ok:
+            fail(path, f"expected {schema['type']}, got {type(value).__name__}")
+
+    if "minimum" in schema and value < schema["minimum"]:
+        fail(path, f"{value} < minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        for name in schema.get("required", ()):
+            if name not in value:
+                fail(path, f"missing required key {name!r}")
+        properties = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for name, item in value.items():
+            if name in properties:
+                check(item, properties[name], f"{path}.{name}")
+            elif isinstance(extra, dict):
+                check(item, extra, f"{path}.{name}")
+            elif extra is False:
+                fail(path, f"unexpected key {name!r}")
+
+    if isinstance(value, list):
+        if len(value) < schema.get("minItems", 0):
+            fail(path, f"{len(value)} items < minItems {schema['minItems']}")
+        if "items" in schema:
+            for i, item in enumerate(value):
+                check(item, schema["items"], f"{path}[{i}]")
+
+
+def fail(path, message):
+    raise TraceError(f"{path}: {message}")
+
+
+def check_semantics(document):
+    events = document["traceEvents"]
+    total_spans = sum(1 for event in events if event.get("ph") == "X")
+    tracks = []
+    span_seen = False
+    span_count = 0
+    cats = {"virtual": 0, "wall": 0}
+
+    for i, event in enumerate(events):
+        path = f"$.traceEvents[{i}]"
+        ph = event["ph"]
+        if ph == "M":
+            if event["name"] == "process_name":
+                continue
+            if event["name"] != "thread_name":
+                fail(path, f"unexpected metadata event {event['name']!r}")
+            if span_seen:
+                fail(path, "thread_name metadata after span events")
+            if event["tid"] != len(tracks):
+                fail(path, f"tid {event['tid']} != declaration order "
+                           f"{len(tracks)}")
+            tracks.append(event["args"]["name"])
+        elif ph == "X":
+            span_seen = True
+            args = event["args"]
+            if not isinstance(event["ts"], (int, float)) or \
+               not isinstance(event["dur"], (int, float)):
+                fail(path, "ts/dur must be numbers")
+            if event["dur"] < 0:
+                fail(path, f"negative dur {event['dur']}")
+            if event.get("cat") not in cats:
+                fail(path, f"cat must be virtual|wall, got {event.get('cat')!r}")
+            cats[event["cat"]] += 1
+            if args.get("kind") not in KINDS:
+                fail(path, f"unknown span kind {args.get('kind')!r}")
+            if args.get("id") != span_count:
+                fail(path, f"id {args.get('id')} != position {span_count}")
+            if "parent" in args:
+                parent = args["parent"]
+                if not isinstance(parent, int) or isinstance(parent, bool) or \
+                   not 0 <= parent < total_spans or parent == span_count:
+                    fail(path, f"parent {parent!r} does not reference "
+                               f"another span")
+            if not 0 <= event["tid"] < len(tracks):
+                fail(path, f"tid {event['tid']} references no declared track")
+            span_count += 1
+        else:
+            fail(path, f"unexpected ph {ph!r}")
+
+    if tracks != sorted(tracks):
+        fail("$.traceEvents", "track names are not sorted")
+    if len(set(tracks)) != len(tracks):
+        fail("$.traceEvents", "duplicate track names")
+    return span_count, len(tracks), cats
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    default_schema = os.path.join(os.path.dirname(os.path.abspath(argv[0])),
+                                  "trace_schema.json")
+    schema_path = argv[2] if len(argv) == 3 else default_schema
+    with open(argv[1]) as f:
+        document = json.load(f)
+    with open(schema_path) as f:
+        schema = json.load(f)
+    try:
+        check(document, schema, "$")
+        spans, tracks, cats = check_semantics(document)
+    except TraceError as error:
+        print(f"{argv[1]}: INVALID — {error}", file=sys.stderr)
+        return 1
+    print(f"{argv[1]}: valid ({spans} spans on {tracks} tracks, "
+          f"{cats['virtual']} virtual / {cats['wall']} wall)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/csv.hpp"
 #include "util/units.hpp"
 
@@ -17,6 +18,16 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// "cell0042": the cell's trace context piece. Indexed, not thread-named, so
+/// the virtual-time tracks under it are identical at any pool width.
+std::string cell_context(std::size_t index) {
+  std::string digits = std::to_string(index);
+  std::string piece = "cell";
+  if (digits.size() < 4) piece.append(4 - digits.size(), '0');
+  piece += digits;
+  return piece;
 }
 
 }  // namespace
@@ -104,6 +115,16 @@ ImprovementTable SweepRunner::run(
     c.kbytes = grid.kbytes[c.col];
     c.n = util::ints_in_kbytes(c.kbytes);
     c.seed = util::split_seed(grid.master_seed, index);
+    // Deterministic per-cell trace context: the simulator's virtual spans
+    // land on "cellNNNN/..." tracks; the wall-clock cell span itself is
+    // profiling-only.
+    const obs::TraceContext trace_context{cell_context(index)};
+    const obs::WallScope cell_span{
+        "sweep/" + cell_context(index),
+        "cell",
+        obs::SpanKind::kCell,
+        {{"p", static_cast<std::int64_t>(c.p)},
+         {"kbytes", static_cast<std::int64_t>(c.kbytes)}}};
     const Clock::time_point cell_start = Clock::now();
     table.factor[c.row][c.col] = cell(c);
     const double seconds = seconds_since(cell_start);

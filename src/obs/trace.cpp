@@ -1,0 +1,336 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <tuple>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace hbsp::obs {
+
+const char* to_string(Timebase timebase) noexcept {
+  switch (timebase) {
+    case Timebase::kVirtual:
+      return "virtual";
+    case Timebase::kWall:
+      return "wall";
+  }
+  return "unknown";
+}
+
+const char* to_string(SpanKind kind) noexcept {
+  switch (kind) {
+    case SpanKind::kPhase:
+      return "phase";
+    case SpanKind::kSuperstep:
+      return "superstep";
+    case SpanKind::kMessageBatch:
+      return "message_batch";
+    case SpanKind::kBarrier:
+      return "barrier";
+    case SpanKind::kRequest:
+      return "request";
+    case SpanKind::kStage:
+      return "stage";
+    case SpanKind::kCell:
+      return "cell";
+    case SpanKind::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::uint64_t next_recorder_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Thread-local shard cache, same discipline as obs::Registry: ids are
+/// process-unique and never reused, shards are owned by their recorder.
+struct ShardCache {
+  std::vector<std::pair<std::uint64_t, detail::TraceShard*>> entries;
+
+  [[nodiscard]] detail::TraceShard* find(std::uint64_t id) const noexcept {
+    for (const auto& [entry_id, shard] : entries) {
+      if (entry_id == id) return shard;
+    }
+    return nullptr;
+  }
+};
+
+ShardCache& shard_cache() {
+  thread_local ShardCache cache;
+  return cache;
+}
+
+/// Content-only ordering of span records; the within-shard index is the
+/// final tiebreak (deterministic under the one-writer-per-track contract).
+bool span_less(const detail::SpanRecord& a, std::size_t a_index,
+               const detail::SpanRecord& b, std::size_t b_index) {
+  const auto key = [](const detail::SpanRecord& s) {
+    return std::tuple<int, const std::string&, double, double, int,
+                      const std::string&>(
+        static_cast<int>(s.timebase), s.track, s.begin, s.end,
+        static_cast<int>(s.kind), s.name);
+  };
+  const auto ka = key(a);
+  const auto kb = key(b);
+  if (ka != kb) return ka < kb;
+  if (a.args != b.args) return a.args < b.args;
+  return a_index < b_index;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : id_(next_recorder_id()) {}
+
+TraceRecorder::~TraceRecorder() = default;
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+int& TraceRecorder::mute_depth() noexcept {
+  thread_local int depth = 0;
+  return depth;
+}
+
+void TraceRecorder::set_enabled(bool on) noexcept {
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+detail::TraceShard& TraceRecorder::local_shard() {
+  ShardCache& cache = shard_cache();
+  if (detail::TraceShard* shard = cache.find(id_)) return *shard;
+  std::lock_guard lock{mutex_};
+  shards_.push_back(std::make_unique<detail::TraceShard>());
+  detail::TraceShard* shard = shards_.back().get();
+  cache.entries.emplace_back(id_, shard);
+  return *shard;
+}
+
+void TraceRecorder::begin_span(std::string track, std::string name,
+                               SpanKind kind, Timebase timebase, double begin) {
+  detail::TraceShard& shard = local_shard();
+  detail::SpanRecord record;
+  record.track = std::move(track);
+  record.name = std::move(name);
+  record.kind = kind;
+  record.timebase = timebase;
+  record.begin = begin;
+  record.end = begin;
+  record.parent = shard.stack.empty()
+                      ? -1
+                      : static_cast<std::int64_t>(shard.stack.back());
+  record.open = true;
+  shard.stack.push_back(shard.spans.size());
+  shard.spans.push_back(std::move(record));
+}
+
+void TraceRecorder::end_span(double end, std::vector<SpanArg> args) {
+  detail::TraceShard& shard = local_shard();
+  if (shard.stack.empty()) return;
+  detail::SpanRecord& record = shard.spans[shard.stack.back()];
+  shard.stack.pop_back();
+  record.end = end;
+  record.args = std::move(args);
+  record.open = false;
+}
+
+void TraceRecorder::record_span(std::string track, std::string name,
+                                SpanKind kind, Timebase timebase, double begin,
+                                double end, std::vector<SpanArg> args) {
+  detail::TraceShard& shard = local_shard();
+  detail::SpanRecord record;
+  record.track = std::move(track);
+  record.name = std::move(name);
+  record.kind = kind;
+  record.timebase = timebase;
+  record.begin = begin;
+  record.end = end;
+  record.parent = shard.stack.empty()
+                      ? -1
+                      : static_cast<std::int64_t>(shard.stack.back());
+  record.args = std::move(args);
+  shard.spans.push_back(std::move(record));
+}
+
+void TraceRecorder::push_context(const std::string& piece) {
+  local_shard().context.push_back(piece);
+}
+
+void TraceRecorder::pop_context() {
+  auto& context = local_shard().context;
+  if (!context.empty()) context.pop_back();
+}
+
+std::string TraceRecorder::context() const {
+  // const_cast-free read path: the shard may not exist yet on this thread.
+  detail::TraceShard* shard = shard_cache().find(id_);
+  if (shard == nullptr) return {};
+  std::string joined;
+  for (const std::string& piece : shard->context) {
+    if (!joined.empty()) joined += '/';
+    joined += piece;
+  }
+  return joined;
+}
+
+TraceSnapshot TraceRecorder::snapshot() const {
+  std::lock_guard lock{mutex_};
+
+  // Gather (shard, index) handles of every completed span, then sort them
+  // by content. The handle survives the sort so parent links (within-shard
+  // indices) can be remapped to canonical snapshot positions afterwards.
+  struct Handle {
+    const detail::TraceShard* shard;
+    std::size_t shard_number;
+    std::size_t index;
+  };
+  std::vector<Handle> handles;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const detail::TraceShard& shard = *shards_[s];
+    for (std::size_t i = 0; i < shard.spans.size(); ++i) {
+      if (!shard.spans[i].open) handles.push_back({&shard, s, i});
+    }
+  }
+  std::stable_sort(handles.begin(), handles.end(),
+                   [](const Handle& a, const Handle& b) {
+                     return span_less(a.shard->spans[a.index], a.index,
+                                      b.shard->spans[b.index], b.index);
+                   });
+
+  // (shard, within-shard index) -> canonical position, for parent links.
+  // One dense table per shard, so resolution is O(spans) overall; a parent
+  // that never closed (or is still open) maps to -1.
+  std::vector<std::vector<std::int64_t>> positions(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    positions[s].assign(shards_[s]->spans.size(), -1);
+  }
+  for (std::size_t pos = 0; pos < handles.size(); ++pos) {
+    positions[handles[pos].shard_number][handles[pos].index] =
+        static_cast<std::int64_t>(pos);
+  }
+
+  TraceSnapshot snap;
+  snap.spans.reserve(handles.size());
+  for (const Handle& handle : handles) {
+    const detail::SpanRecord& record = handle.shard->spans[handle.index];
+    SpanView view;
+    view.track = record.track;
+    view.name = record.name;
+    view.kind = record.kind;
+    view.timebase = record.timebase;
+    view.begin = record.begin;
+    view.end = record.end;
+    view.parent =
+        record.parent >= 0
+            ? positions[handle.shard_number]
+                       [static_cast<std::size_t>(record.parent)]
+            : -1;
+    view.args = record.args;
+    snap.spans.push_back(std::move(view));
+  }
+
+  for (const SpanView& span : snap.spans) {
+    if (snap.tracks.empty() || snap.tracks.back() != span.track) {
+      snap.tracks.push_back(span.track);
+    }
+  }
+  std::sort(snap.tracks.begin(), snap.tracks.end());
+  snap.tracks.erase(std::unique(snap.tracks.begin(), snap.tracks.end()),
+                    snap.tracks.end());
+  return snap;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard lock{mutex_};
+  for (const auto& shard : shards_) {
+    shard->spans.clear();
+    shard->stack.clear();
+  }
+}
+
+std::size_t TraceRecorder::span_count() const {
+  std::lock_guard lock{mutex_};
+  std::size_t count = 0;
+  for (const auto& shard : shards_) {
+    for (const detail::SpanRecord& span : shard->spans) {
+      if (!span.open) ++count;
+    }
+  }
+  return count;
+}
+
+bool TraceRecorder::sampled(std::uint64_t seed, std::uint64_t ordinal,
+                            std::uint64_t every) noexcept {
+  if (every <= 1) return true;
+  std::uint64_t state = seed ^ (ordinal * 0x9e3779b97f4a7c15ULL);
+  return util::splitmix64(state) % every == 0;
+}
+
+std::size_t TraceSnapshot::count(SpanKind kind) const noexcept {
+  std::size_t total = 0;
+  for (const SpanView& span : spans) {
+    if (span.kind == kind) ++total;
+  }
+  return total;
+}
+
+std::int64_t TraceSnapshot::arg_total(SpanKind kind,
+                                      const std::string& arg) const noexcept {
+  std::int64_t total = 0;
+  for (const SpanView& span : spans) {
+    if (span.kind != kind) continue;
+    for (const SpanArg& a : span.args) {
+      if (a.name == arg) total += a.value;
+    }
+  }
+  return total;
+}
+
+TraceContext::TraceContext(TraceRecorder& recorder, std::string piece) {
+  if (!recorder.enabled()) return;
+  recorder_ = &recorder;
+  recorder_->push_context(piece);
+}
+
+TraceContext::~TraceContext() {
+  if (recorder_ != nullptr) recorder_->pop_context();
+}
+
+namespace {
+
+// obs is excluded from the determinism zones (layers.toml) precisely so
+// instrumentation can read the monotonic clock; wall spans are reported,
+// never compared.
+double wall_now() noexcept {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+WallScope::WallScope(TraceRecorder& recorder, std::string track,
+                     std::string name, SpanKind kind, std::vector<SpanArg> args)
+    : track_(std::move(track)),
+      name_(std::move(name)),
+      kind_(kind),
+      args_(std::move(args)) {
+  if (!recorder.enabled()) return;
+  recorder_ = &recorder;
+  begin_ = wall_now();
+  recorder_->begin_span(track_, name_, kind_, Timebase::kWall, begin_);
+}
+
+WallScope::~WallScope() {
+  if (recorder_ == nullptr) return;
+  recorder_->end_span(wall_now(), std::move(args_));
+}
+
+}  // namespace hbsp::obs

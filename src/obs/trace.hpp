@@ -1,0 +1,259 @@
+#pragma once
+// Deterministic span tracing: the per-phase cost decomposition the metrics
+// registry cannot give. Counters (obs/metrics.hpp) say *how many* sends and
+// barriers a run performed; spans say *where* each virtual or wall second
+// went — which superstep, which machine, which svc request stage — in a form
+// Perfetto can render (obs/trace_export.hpp).
+//
+// Two timebases, one recorder:
+//
+//   kVirtual   simulated seconds. Emitted by the DES per phase, superstep,
+//              message batch and barrier, under one track per (context,
+//              machine/level). Virtual spans carry no wall time at all, so
+//              the exported virtual trace is *byte-identical* at any thread
+//              or shard count — the property the CI trace gate pins against
+//              committed goldens, exactly like the sweep CSVs.
+//
+//   kWall      monotonic wall seconds on whichever sanctioned clock the
+//              emitting layer already owns (svc routes through
+//              svc::now_seconds(); sweeps use their cell timer; WallScope
+//              reads the obs clock, which the determinism zones exclude).
+//              Wall spans are for profiling — reported, never compared.
+//
+// Sharding mirrors obs::Registry: each recording thread owns a private shard
+// it alone appends to, so the hot path is a vector push with no cross-thread
+// traffic. snapshot() merges shards into one canonically sorted span list:
+//
+//   sort key   (timebase, track, begin, end, kind, name, args,
+//               within-shard order)
+//
+// which is content-only, so the merged order never depends on which thread
+// recorded what. The contract that makes ties deterministic: *a track is
+// written by at most one thread at a time* (tracks embed the cell index /
+// request ordinal / machine id, which already implies this everywhere the
+// repo records).
+//
+// Parent links: begin_span pushes onto the recording thread's open-span
+// stack; spans recorded while it is open become its children. end_span pops.
+// Links are resolved to canonical snapshot indices at merge time; a parent
+// still open at snapshot() (or recorded on another thread) resolves to -1.
+//
+// Off by default: when the recorder is disabled every instrumentation site
+// skips span construction entirely, so tracing compiled in but disabled
+// leaves counters, goldens and BENCH snapshots byte-identical.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hbsp::obs {
+
+/// Which clock a span's begin/end seconds are on.
+enum class Timebase : std::uint8_t { kVirtual, kWall };
+
+/// What a span describes; kinds are what the reconciliation suite counts
+/// against the sim.* / svc.* counters.
+enum class SpanKind : std::uint8_t {
+  kPhase,         ///< one CommSchedule phase (count == sim.phases)
+  kSuperstep,     ///< one SuperstepPlan, ghosts included (count == sim.plans)
+  kMessageBatch,  ///< a plan's send or receive batch; args carry the totals
+  kBarrier,       ///< barrier enter -> exit (count == sim.barriers)
+  kRequest,       ///< one svc submit outcome (count == svc.requests at 1-in-1)
+  kStage,         ///< a lifecycle stage inside a request (queue, plan, ...)
+  kCell,          ///< one sweep cell (wall)
+  kOther,
+};
+
+[[nodiscard]] const char* to_string(Timebase timebase) noexcept;
+[[nodiscard]] const char* to_string(SpanKind kind) noexcept;
+
+/// One named integer argument ("attempts", 9). Integers only, by design:
+/// args participate in byte-stable exports and in exact counter
+/// reconciliation, neither of which wants doubles.
+struct SpanArg {
+  std::string name;
+  std::int64_t value = 0;
+
+  friend bool operator==(const SpanArg&, const SpanArg&) = default;
+  friend auto operator<=>(const SpanArg&, const SpanArg&) = default;
+};
+
+namespace detail {
+
+struct SpanRecord {
+  std::string track;
+  std::string name;
+  SpanKind kind = SpanKind::kOther;
+  Timebase timebase = Timebase::kVirtual;
+  double begin = 0.0;
+  double end = 0.0;
+  std::int64_t parent = -1;  ///< within-shard index; -1 = no parent
+  std::vector<SpanArg> args;
+  bool open = false;  ///< begin_span'd but not yet end_span'd
+};
+
+/// One thread's private slice of the recorder.
+struct TraceShard {
+  std::vector<SpanRecord> spans;
+  std::vector<std::size_t> stack;  ///< open-span indices, innermost last
+  std::vector<std::string> context;  ///< TraceContext pieces, outermost first
+};
+
+}  // namespace detail
+
+/// One merged span in a TraceSnapshot. `parent` is the index of the parent
+/// span within the same snapshot (-1 for roots), stable across thread and
+/// shard counts because the snapshot order is.
+struct SpanView {
+  std::string track;
+  std::string name;
+  SpanKind kind = SpanKind::kOther;
+  Timebase timebase = Timebase::kVirtual;
+  double begin = 0.0;
+  double end = 0.0;
+  std::int64_t parent = -1;
+  std::vector<SpanArg> args;
+
+  [[nodiscard]] double duration() const noexcept { return end - begin; }
+};
+
+/// A point-in-time merge of every shard's *completed* spans, canonically
+/// sorted (see the file comment) with parent links resolved.
+struct TraceSnapshot {
+  std::vector<SpanView> spans;
+  std::vector<std::string> tracks;  ///< sorted unique track names
+
+  /// Number of spans of one kind (any timebase).
+  [[nodiscard]] std::size_t count(SpanKind kind) const noexcept;
+  /// Sum of the named integer arg over all spans of `kind`; absent args
+  /// contribute 0. The reconciliation suite's workhorse.
+  [[nodiscard]] std::int64_t arg_total(SpanKind kind,
+                                       const std::string& arg) const noexcept;
+};
+
+/// Thread-sharded span recorder. One process-wide instance (global());
+/// instances are independent, so tests can use private recorders.
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// The recorder every instrumented layer writes to.
+  static TraceRecorder& global();
+
+  /// Master switch. Instrumentation sites must check enabled() before
+  /// building track strings; with the recorder disabled a traced binary
+  /// behaves byte-identically to an untraced one.
+  void set_enabled(bool on) noexcept;
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed) && mute_depth() == 0;
+  }
+
+  /// Opens a span on the calling thread at `begin` (caller-supplied seconds
+  /// on `timebase`); spans recorded until the matching end_span become its
+  /// children. Begin/end pairs nest strictly per thread.
+  void begin_span(std::string track, std::string name, SpanKind kind,
+                  Timebase timebase, double begin);
+
+  /// Closes the innermost open span at `end`, attaching `args`. No-op when
+  /// nothing is open (a site that raced the enable switch).
+  void end_span(double end, std::vector<SpanArg> args = {});
+
+  /// Records a complete span in one call; parent is the innermost span
+  /// currently open on this thread, if any.
+  void record_span(std::string track, std::string name, SpanKind kind,
+                   Timebase timebase, double begin, double end,
+                   std::vector<SpanArg> args = {});
+
+  /// Thread-local track-name prefix, composed with '/'. Sweeps push the
+  /// cell index, svc pushes the request ordinal, so the DES can name tracks
+  /// deterministically without knowing who is driving it.
+  void push_context(const std::string& piece);
+  void pop_context();
+  [[nodiscard]] std::string context() const;
+
+  /// Merges every shard's completed spans (see the class comment). Safe to
+  /// call at quiescent points; spans still open are excluded.
+  [[nodiscard]] TraceSnapshot snapshot() const;
+
+  /// Drops every recorded span and resets the open stacks. Call between
+  /// workloads, like Registry::reset().
+  void clear();
+
+  /// Completed spans recorded since the last clear().
+  [[nodiscard]] std::size_t span_count() const;
+
+  /// Deterministic 1-in-`every` sampling decision for (seed, ordinal):
+  /// seeded, reproducible, and uniform-ish over ordinals. every <= 1 always
+  /// samples; the decision never depends on threads or wall time.
+  [[nodiscard]] static bool sampled(std::uint64_t seed, std::uint64_t ordinal,
+                                    std::uint64_t every) noexcept;
+
+ private:
+  friend class TraceMute;
+  detail::TraceShard& local_shard();
+  static int& mute_depth() noexcept;
+
+  const std::uint64_t id_;  ///< process-unique; keys the thread-local cache
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<detail::TraceShard>> shards_;
+};
+
+/// RAII context piece: pushes on construction, pops on destruction. No-op
+/// when the recorder is disabled at construction time.
+class TraceContext {
+ public:
+  TraceContext(TraceRecorder& recorder, std::string piece);
+  explicit TraceContext(std::string piece)
+      : TraceContext(TraceRecorder::global(), std::move(piece)) {}
+  ~TraceContext();
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+ private:
+  TraceRecorder* recorder_ = nullptr;  ///< null when disabled at construction
+};
+
+/// RAII thread-local mute: while alive, enabled() reports false on this
+/// thread. The serving layer wraps *unsampled* request computes in a mute so
+/// a 1-in-N sampled load trace contains exactly the sampled requests' spans.
+class TraceMute {
+ public:
+  TraceMute() noexcept { ++TraceRecorder::mute_depth(); }
+  ~TraceMute() { --TraceRecorder::mute_depth(); }
+  TraceMute(const TraceMute&) = delete;
+  TraceMute& operator=(const TraceMute&) = delete;
+};
+
+/// RAII wall-clock span: reads the obs monotonic clock (obs is outside the
+/// determinism zones precisely so instrumentation can) at construction and
+/// destruction. No-op when the recorder is disabled at construction.
+class WallScope {
+ public:
+  WallScope(TraceRecorder& recorder, std::string track, std::string name,
+            SpanKind kind, std::vector<SpanArg> args = {});
+  WallScope(std::string track, std::string name, SpanKind kind,
+            std::vector<SpanArg> args = {})
+      : WallScope(TraceRecorder::global(), std::move(track), std::move(name),
+                  kind, std::move(args)) {}
+  ~WallScope();
+  WallScope(const WallScope&) = delete;
+  WallScope& operator=(const WallScope&) = delete;
+
+ private:
+  TraceRecorder* recorder_ = nullptr;
+  std::string track_;
+  std::string name_;
+  SpanKind kind_ = SpanKind::kOther;
+  std::vector<SpanArg> args_;
+  double begin_ = 0.0;
+};
+
+}  // namespace hbsp::obs

@@ -6,9 +6,35 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace hbsp::sim {
+
+namespace {
+
+/// Track names compose the driver-supplied TraceContext prefix (cell index,
+/// request ordinal, workload name) with a machine id, so the virtual trace is
+/// deterministic no matter which thread or layer drives the simulation.
+std::string span_track(const obs::TraceRecorder& recorder,
+                       const MachineId& scope) {
+  std::string track = recorder.context();
+  if (!track.empty()) track += '/';
+  track += 'm';
+  track += std::to_string(scope.level);
+  track += '.';
+  track += std::to_string(scope.index);
+  return track;
+}
+
+std::string phase_track(const obs::TraceRecorder& recorder) {
+  std::string track = recorder.context();
+  if (!track.empty()) track += '/';
+  track += "sim";
+  return track;
+}
+
+}  // namespace
 
 ClusterSim::ClusterSim(const MachineTree& tree, SimParams params,
                        bool record_events)
@@ -122,11 +148,27 @@ void replay_run_metrics(const RunMetrics& metrics) {
 }
 
 std::vector<PlanTiming> ClusterSim::execute_phase(const Phase& phase) {
+  auto& recorder = obs::TraceRecorder::global();
+  const bool tracing = recorder.enabled();
+  if (tracing) {
+    recorder.begin_span(phase_track(recorder), "phase", obs::SpanKind::kPhase,
+                        obs::Timebase::kVirtual,
+                        *std::min_element(clock_.begin(), clock_.end()));
+  }
   std::vector<PlanTiming> timings;
   timings.reserve(phase.plans.size());
   // Plans within a phase act on disjoint subtrees, so sequential processing
   // of the plan list is still concurrent execution in virtual time.
   for (const auto& plan : phase.plans) timings.push_back(execute_plan(plan));
+  if (tracing) {
+    double completion = 0.0;
+    for (const auto& t : timings) {
+      completion = std::max(completion, t.barrier_exit);
+    }
+    recorder.end_span(
+        completion,
+        {{"plans", static_cast<std::int64_t>(phase.plans.size())}});
+  }
   flush_metrics();
   return timings;
 }
@@ -189,6 +231,10 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
     any_live = true;
     timing.start = std::min(timing.start, clock_[slot]);
   }
+  auto& recorder = obs::TraceRecorder::global();
+  const bool tracing = recorder.enabled();
+  const std::string span_track_name =
+      tracing ? span_track(recorder, plan.sync_scope) : std::string{};
   if (!any_live) {
     // Every scope member has dropped: the plan is a ghost. Nothing runs, no
     // barrier closes; the detector still flags the unreported corpses so the
@@ -208,8 +254,35 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
     }
     timing.start = timing.work_end = timing.wire_end = timing.barrier_exit =
         frozen;
+    if (tracing) {
+      // Zero-length superstep span so count(kSuperstep) == sim.plans holds
+      // exactly even when a whole scope has died.
+      recorder.record_span(span_track_name, plan.label,
+                           obs::SpanKind::kSuperstep, obs::Timebase::kVirtual,
+                           frozen, frozen, {{"ghost", 1}});
+    }
     return timing;
   }
+
+  if (tracing) {
+    recorder.begin_span(span_track_name, plan.label,
+                        obs::SpanKind::kSuperstep, obs::Timebase::kVirtual,
+                        timing.start);
+  }
+  const auto scope_clock_max = [&] {
+    double latest = timing.start;
+    for (int pid = first; pid < last; ++pid) {
+      const auto slot = static_cast<std::size_t>(pid);
+      if (dead_at(pid, clock_[slot])) continue;
+      latest = std::max(latest, clock_[slot]);
+    }
+    return latest;
+  };
+  const std::size_t attempts_before = tally_.send_attempts;
+  const std::size_t retries_before = tally_.retries;
+  const std::size_t delivered_before = tally_.messages_delivered;
+  const std::size_t lost_before = tally_.messages_lost;
+  const std::size_t stalls_before = tally_.barrier_stalls;
 
   // 1. Local computation. A dropped processor does no further work; a
   //    slowdown window stretches busy time like a time-varying r.
@@ -227,6 +300,7 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
     trace_.record(clock_[slot], EventKind::kComputeEnd, work.pid, -1,
                    static_cast<std::size_t>(work.ops), plan.label);
   }
+  const double compute_end = tracing ? scope_clock_max() : 0.0;
 
   // 2. Sends, serialised per sender in issue order. Arrivals land in the
   //    pooled heap keyed (dst, time, issue sequence) for determinism; the
@@ -318,6 +392,22 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
       ++attempt;
     }
   }
+  const double sends_end = tracing ? scope_clock_max() : 0.0;
+  if (tracing) {
+    // One send batch per superstep; "attempts" sums to sim.send_attempts
+    // across all batches, which the reconciliation suite checks exactly.
+    recorder.record_span(
+        span_track_name, "sends", obs::SpanKind::kMessageBatch,
+        obs::Timebase::kVirtual, compute_end, sends_end,
+        {{"attempts",
+          static_cast<std::int64_t>(tally_.send_attempts - attempts_before)},
+         {"retries",
+          static_cast<std::int64_t>(tally_.retries - retries_before)},
+         {"delivered", static_cast<std::int64_t>(tally_.messages_delivered -
+                                                 delivered_before)},
+         {"lost",
+          static_cast<std::int64_t>(tally_.messages_lost - lost_before)}});
+  }
 
   // 3. Receives: popping the (dst, time, seq)-keyed heap visits receivers in
   //    pid order and each receiver's messages in arrival order — the same
@@ -349,6 +439,13 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
     trace_.note_recv(a.dst, a.items, busy);
     trace_.record(clock_[slot], EventKind::kRecvEnd, a.dst, a.src, a.items,
                   plan.label);
+  }
+  if (tracing) {
+    recorder.record_span(
+        span_track_name, "receives", obs::SpanKind::kMessageBatch,
+        obs::Timebase::kVirtual, sends_end, scope_clock_max(),
+        {{"delivered", static_cast<std::int64_t>(tally_.messages_delivered -
+                                                 delivered_before)}});
   }
 
   // 4. Shared-medium throughput bound per crossed network, measured from the
@@ -412,6 +509,13 @@ PlanTiming ClusterSim::execute_plan(const SuperstepPlan& plan) {
     clock_[slot] = timing.barrier_exit;
     trace_.record(timing.barrier_exit, EventKind::kBarrierExit, pid, -1, 0,
                    plan.label);
+  }
+  if (tracing) {
+    recorder.record_span(
+        span_track_name, "barrier", obs::SpanKind::kBarrier,
+        obs::Timebase::kVirtual, barrier_enter, timing.barrier_exit,
+        {{"stalled", tally_.barrier_stalls > stalls_before ? 1 : 0}});
+    recorder.end_span(timing.barrier_exit, {{"ghost", 0}});
   }
   tally_.plan_wire_seconds.push_back(plan_wire_seconds);
   tally_.plan_span_seconds.push_back(timing.barrier_exit - timing.start);

@@ -1,6 +1,7 @@
 #include "svc/service.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -9,6 +10,7 @@
 #include "experiments/figures.hpp"
 #include "faults/injector.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/hash.hpp"
 
 namespace hbsp::svc {
@@ -99,12 +101,25 @@ std::shared_future<Response> ready_future(Response response) {
   return promise.get_future().share();
 }
 
+/// One trace track per submit ordinal ("req000042"): deterministic in the
+/// submit sequence, and written only by whichever thread owns the ordinal's
+/// span — the recorder's one-writer-per-track contract.
+std::string request_track(std::uint64_t ordinal) {
+  std::string digits = std::to_string(ordinal);
+  std::string track = "req";
+  if (digits.size() < 6) track.append(6 - digits.size(), '0');
+  track += digits;
+  return track;
+}
+
 }  // namespace
 
 Service::Service(ServiceConfig config)
     : config_{config.threads,
               std::max(1, config.shards),
-              config.queue_capacity},
+              config.queue_capacity,
+              std::max<std::uint64_t>(1, config.trace_sample_every),
+              config.trace_seed},
       pool_(config.threads),
       queues_(static_cast<std::size_t>(std::max(1, config.shards))) {}
 
@@ -162,10 +177,18 @@ Ticket Service::admit(Canonical request, Deadline deadline) {
   const double now = now_seconds();
 
   obs::Registry& registry = obs::Registry::global();
+  obs::TraceRecorder& recorder = obs::TraceRecorder::global();
   std::lock_guard lock{mutex_};
   registry.counter("svc.requests").increment();
   registry.counter(std::string{"svc.requests."} + to_string(request.kind))
       .increment();
+  // Every submit owns an ordinal; at trace_sample_every == 1 each sampled
+  // ordinal yields exactly one kRequest span, so span count == svc.requests.
+  const std::uint64_t ordinal = next_ordinal_++;
+  const bool traced =
+      recorder.enabled() &&
+      obs::TraceRecorder::sampled(config_.trace_seed, ordinal,
+                                  config_.trace_sample_every);
 
   // 1. Coalesce: an in-flight twin (queued or executing, promise not yet
   //    fulfilled) answers for us. Checked before the deadline so an expired
@@ -176,6 +199,12 @@ Ticket Service::admit(Canonical request, Deadline deadline) {
       job->member_submits.push_back(now);
       job->effective_deadline = std::max(job->effective_deadline, deadline.at);
       registry.counter("svc.coalesced").increment();
+      if (traced) {
+        recorder.record_span(
+            request_track(ordinal), "coalesced", obs::SpanKind::kRequest,
+            obs::Timebase::kWall, now, now,
+            {{"leader", static_cast<std::int64_t>(job->ordinal)}});
+      }
       return Ticket{job->future, key, true};
     }
   }
@@ -183,6 +212,11 @@ Ticket Service::admit(Canonical request, Deadline deadline) {
   // 2. Deadline: an already-expired request with no twin never executes.
   if (deadline.passed(now)) {
     registry.counter("svc.shed.deadline").increment();
+    if (traced) {
+      recorder.record_span(request_track(ordinal), "shed.deadline",
+                           obs::SpanKind::kRequest, obs::Timebase::kWall, now,
+                           now);
+    }
     Response response;
     response.outcome = Outcome::kRejectedDeadlineExceeded;
     response.provenance = Provenance{key, shard, 1, now};
@@ -192,6 +226,11 @@ Ticket Service::admit(Canonical request, Deadline deadline) {
   // 3. Capacity: the admission queue is bounded across all shards.
   if (config_.queue_capacity > 0 && queued_ >= config_.queue_capacity) {
     registry.counter("svc.shed.queue_full").increment();
+    if (traced) {
+      recorder.record_span(request_track(ordinal), "shed.queue_full",
+                           obs::SpanKind::kRequest, obs::Timebase::kWall, now,
+                           now);
+    }
     Response response;
     response.outcome = Outcome::kRejectedQueueFull;
     response.provenance = Provenance{key, shard, 1, now};
@@ -202,6 +241,8 @@ Ticket Service::admit(Canonical request, Deadline deadline) {
   job->request = std::move(request);
   job->key = key;
   job->shard = shard;
+  job->ordinal = ordinal;
+  job->traced = traced;
   job->effective_deadline = deadline.at;
   job->member_submits.push_back(now);
   job->future = job->promise.get_future().share();
@@ -218,32 +259,56 @@ Ticket Service::admit(Canonical request, Deadline deadline) {
 }
 
 Response Service::compute(const Canonical& request) {
+  // Stage spans land on the request's own track (the TraceContext the
+  // executor pushed); the simulator nests its virtual spans under the same
+  // context. Muted (unsampled) computes skip all of this via enabled().
+  obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+  const bool tracing = recorder.enabled();
+  const std::string track = tracing ? recorder.context() : std::string{};
+  const auto stage = [&](const char* name, double begin) {
+    if (tracing) {
+      recorder.record_span(track, name, obs::SpanKind::kStage,
+                           obs::Timebase::kWall, begin, now_seconds());
+    }
+  };
+
   Response response;
   response.outcome = Outcome::kCompleted;
   switch (request.kind) {
     case RequestKind::kAdvise: {
+      double t0 = tracing ? now_seconds() : 0.0;
       const coll::CollectiveAdvice advice =
           coll::advise(*request.tree, request.collective, request.n);
       response.body.spec = advice.request(request.n);
+      stage("advise", t0);
+      t0 = tracing ? now_seconds() : 0.0;
       response.body.plan =
           coll::PlanCache::global().get(*request.tree, response.body.spec);
+      stage("plan", t0);
       response.body.simulated = true;
+      t0 = tracing ? now_seconds() : 0.0;
       response.body.simulated_makespan = exp::simulate_makespan(
           *request.tree, response.body.plan->schedule, request.params);
+      stage("simulate", t0);
       response.body.rationale = advice.rationale;
       break;
     }
     case RequestKind::kPlan: {
       response.body.spec = request.spec;
+      const double t0 = tracing ? now_seconds() : 0.0;
       response.body.plan =
           coll::PlanCache::global().get(*request.tree, request.spec);
+      stage("plan", t0);
       break;
     }
     case RequestKind::kSimulate: {
       response.body.spec = request.spec;
+      double t0 = tracing ? now_seconds() : 0.0;
       response.body.plan =
           coll::PlanCache::global().get(*request.tree, request.spec);
+      stage("plan", t0);
       response.body.simulated = true;
+      t0 = tracing ? now_seconds() : 0.0;
       if (request.fault_plan != nullptr) {
         const faults::FaultInjector injector{*request.fault_plan};
         response.body.simulated_makespan = exp::simulate_makespan_with_faults(
@@ -253,6 +318,7 @@ Response Service::compute(const Canonical& request) {
         response.body.simulated_makespan = exp::simulate_makespan(
             *request.tree, response.body.plan->schedule, request.params);
       }
+      stage("simulate", t0);
       break;
     }
   }
@@ -276,12 +342,39 @@ void Service::execute(const std::shared_ptr<Job>& job) {
       }
       const std::uint64_t members = job->member_submits.size();
       registry.counter("svc.shed.deadline").add(members);
+      if (job->traced && obs::TraceRecorder::global().enabled()) {
+        // The leader's one kRequest span: its twins already recorded theirs
+        // when they attached.
+        obs::TraceRecorder::global().record_span(
+            request_track(job->ordinal), "shed.dispatch",
+            obs::SpanKind::kRequest, obs::Timebase::kWall, start, start,
+            {{"served", static_cast<std::int64_t>(members)}});
+      }
       Response response;
       response.outcome = Outcome::kRejectedDeadlineExceeded;
       response.provenance = Provenance{job->key, job->shard, members, start};
       job->promise.set_value(std::move(response));
       return;
     }
+  }
+
+  obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+  const bool traced = job->traced && recorder.enabled();
+  // An unsampled compute is muted so it cannot leak simulator spans onto the
+  // sampled trace; a sampled one opens the request's root lifecycle span and
+  // pushes its track as context for the stage and simulator spans below.
+  std::optional<obs::TraceMute> mute;
+  if (!job->traced && recorder.enabled()) mute.emplace();
+  std::optional<obs::TraceContext> context;
+  std::string track;
+  if (traced) {
+    track = request_track(job->ordinal);
+    recorder.begin_span(track, to_string(job->request.kind),
+                        obs::SpanKind::kRequest, obs::Timebase::kWall, start);
+    recorder.record_span(track, "queue", obs::SpanKind::kStage,
+                         obs::Timebase::kWall, job->member_submits.front(),
+                         start);
+    context.emplace(recorder, track);
   }
 
   Response response;
@@ -306,6 +399,15 @@ void Service::execute(const std::shared_ptr<Job>& job) {
       if (it->second.empty()) inflight_.erase(it);
     }
     members = std::move(job->member_submits);
+  }
+
+  if (traced) {
+    context.reset();
+    recorder.end_span(end,
+                      {{"served", static_cast<std::int64_t>(members.size())},
+                       {"coalesced",
+                        static_cast<std::int64_t>(members.size() - 1)},
+                       {"error", error != nullptr ? 1 : 0}});
   }
 
   if (error != nullptr) {

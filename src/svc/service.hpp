@@ -67,6 +67,14 @@
 //   histograms  svc.latency_seconds (submit -> response ready, per served
 //               request), svc.exec_seconds (compute only) — wall time,
 //               reported but never gated
+//
+// Tracing (obs::TraceRecorder::global(), when enabled): every sampled submit
+// yields exactly one kRequest span on its own "req<ordinal>" track — a root
+// lifecycle span for leaders that compute, an instant span for coalesced
+// twins and shed requests — plus kStage children (queue, plan, simulate) on
+// svc's sanctioned clock and, nested under the request context, the
+// simulator's virtual-time spans. At trace_sample_every == 1 the kRequest
+// span count reconciles exactly with the svc.requests counter.
 
 #include <condition_variable>
 #include <cstddef>
@@ -180,6 +188,14 @@ struct ServiceConfig {
   int shards = 1;   ///< admission-queue shards (>= 1), jobs land on key % shards
   /// Total queued-job bound across all shards; 0 = unbounded (never sheds).
   std::size_t queue_capacity = 64;
+  /// Request-lifecycle tracing (active only while the global TraceRecorder
+  /// is enabled): spans are recorded for 1-in-`trace_sample_every` submits,
+  /// decided by obs::TraceRecorder::sampled(trace_seed, submit ordinal, N) —
+  /// seeded and reproducible, so the load harness can trace under full load.
+  /// 1 traces every request; unsampled computes are muted so they leak no
+  /// simulator spans either.
+  std::uint64_t trace_sample_every = 1;
+  std::uint64_t trace_seed = 0;
 };
 
 class Service {
@@ -246,6 +262,8 @@ class Service {
     Canonical request;
     std::uint64_t key = 0;
     int shard = 0;
+    std::uint64_t ordinal = 0;  ///< submit ordinal of the leading member
+    bool traced = false;        ///< sampled for lifecycle spans at admit time
     /// max over all members' deadlines: compute while anyone still wants it.
     double effective_deadline = 0.0;
     /// submit times of every member (leader first), for latency histograms.
@@ -274,6 +292,7 @@ class Service {
   std::map<std::uint64_t, std::vector<std::shared_ptr<Job>>> inflight_;
   std::size_t queued_ = 0;   ///< jobs admitted, not yet dispatched
   std::size_t depth_high_water_ = 0;
+  std::uint64_t next_ordinal_ = 0;  ///< submit ordinal; keys trace sampling
   bool stopping_ = false;
   bool running_ = false;
   std::thread executor_;  ///< drives pool_.parallel_for in background mode
